@@ -1,0 +1,267 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index), then runs
+   Bechamel wall-clock microbenchmarks of the compiler itself.
+
+   Run with:  dune exec bench/main.exe            (everything)
+              dune exec bench/main.exe -- tables  (cycle tables only)
+*)
+
+module C = Masc.Compiler
+module I = Masc_vm.Interp
+module K = Masc_kernels.Kernels
+module T = Masc_asip.Targets
+
+let kernels = K.all ()
+
+let compile config (k : K.kernel) =
+  C.compile config ~source:k.K.source ~entry:k.K.entry ~arg_types:k.K.arg_types
+
+let cycles config (k : K.kernel) =
+  let compiled = compile config k in
+  (C.run compiled (k.K.inputs ())).I.cycles
+
+let line = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ---------------- Table I: benchmark characteristics ---------------- *)
+
+let table1 () =
+  header "Table I: DSP benchmark suite";
+  Printf.printf "%-8s %-46s %6s %12s\n" "name" "workload" "lines" "arith ops";
+  List.iter
+    (fun (k : K.kernel) ->
+      Printf.printf "%-8s %-46s %6d %12d\n" k.K.kname k.K.description
+        k.K.matlab_lines k.K.ops_estimate)
+    kernels
+
+(* ------- Table II + Fig. 2: proposed vs MATLAB-Coder baseline ------- *)
+
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 1 n) '#'
+
+let table2 () =
+  header
+    "Table II: cycles on the dsp8 ASIP — MATLAB-Coder-style baseline vs \
+     proposed compiler";
+  Printf.printf "%-8s %14s %14s %9s   %s\n" "kernel" "baseline" "proposed"
+    "speedup" "notes";
+  let results =
+    List.map
+      (fun (k : K.kernel) ->
+        let compiled = compile (C.proposed ()) k in
+        let pc = (C.run compiled (k.K.inputs ())).I.cycles in
+        let bc = cycles (C.coder_baseline ()) k in
+        let s = float_of_int bc /. float_of_int pc in
+        let notes =
+          let v = compiled.C.vec_stats in
+          let c = compiled.C.cplx_stats in
+          String.concat ", "
+            (List.filter
+               (fun s -> s <> "")
+               [ (if v.Masc_vectorize.Vectorizer.map_loops > 0 then
+                    Printf.sprintf "%d SIMD map loop(s)"
+                      v.Masc_vectorize.Vectorizer.map_loops
+                  else "");
+                 (if v.Masc_vectorize.Vectorizer.reduction_loops > 0 then
+                    Printf.sprintf "%d MAC reduction(s)"
+                      v.Masc_vectorize.Vectorizer.reduction_loops
+                  else "");
+                 (if c.Masc_vectorize.Complex_sel.cmul > 0 then
+                    Printf.sprintf "%d cmul" c.Masc_vectorize.Complex_sel.cmul
+                  else "");
+                 (if c.Masc_vectorize.Complex_sel.cmac > 0 then
+                    Printf.sprintf "%d cmac" c.Masc_vectorize.Complex_sel.cmac
+                  else "") ])
+        in
+        Printf.printf "%-8s %14d %14d %8.1fx   %s\n" k.K.kname bc pc s notes;
+        (k.K.kname, s))
+      kernels
+  in
+  let best = List.fold_left (fun m (_, s) -> Float.max m s) 0.0 results in
+  let worst = List.fold_left (fun m (_, s) -> Float.min m s) infinity results in
+  Printf.printf "\nspeedup range: %.1fx - %.1fx (paper: 2x - 30x)\n" worst best;
+  header "Fig. 2: speedup over MATLAB-Coder-style baseline (dsp8)";
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "%-8s %6.1fx |%s\n" name s (bar 50 (s /. 20.0)))
+    results;
+  results
+
+(* ---------------- Table III: ISE-class ablation ---------------- *)
+
+let table3 () =
+  header
+    "Table III: ablation — contribution of each custom-instruction class \
+     (speedup vs baseline)";
+  Printf.printf "%-8s %12s %12s %12s %12s\n" "kernel" "O2 scalar" "+SIMD"
+    "+complex" "+both";
+  List.iter
+    (fun (k : K.kernel) ->
+      let bc = cycles (C.coder_baseline ()) k in
+      let s isa =
+        let c = cycles (C.proposed ~isa ()) k in
+        float_of_int bc /. float_of_int c
+      in
+      Printf.printf "%-8s %11.1fx %11.1fx %11.1fx %11.1fx\n" k.K.kname
+        (s T.scalar) (s T.dsp8_simd_only) (s T.dsp8_cplx_only) (s T.dsp8))
+    kernels
+
+(* ------------- Fig. 3: SIMD width sweep (retargetability) ------------- *)
+
+let fig3 () =
+  header
+    "Fig. 3: speedup vs baseline as a function of SIMD width (parameterized \
+     ISA descriptions)";
+  Printf.printf "%-8s %10s %10s %10s %10s\n" "kernel" "scalar" "dsp4" "dsp8"
+    "dsp16";
+  List.iter
+    (fun (k : K.kernel) ->
+      let bc = cycles (C.coder_baseline ()) k in
+      let s isa = float_of_int bc /. float_of_int (cycles (C.proposed ~isa ()) k) in
+      Printf.printf "%-8s %9.1fx %9.1fx %9.1fx %9.1fx\n" k.K.kname (s T.scalar)
+        (s T.dsp4) (s T.dsp8) (s T.dsp16))
+    kernels
+
+(* -------- Table IV: scalar optimization levels (flow ablation) -------- *)
+
+let table4 () =
+  header
+    "Table IV: effect of the scalar optimization level on the proposed flow \
+     (dsp8 cycles)";
+  Printf.printf "%-8s %14s %14s %14s\n" "kernel" "O0" "O1" "O2";
+  List.iter
+    (fun (k : K.kernel) ->
+      let c lvl =
+        cycles { (C.proposed ()) with C.opt_level = lvl } k
+      in
+      Printf.printf "%-8s %14d %14d %14d\n" k.K.kname
+        (c Masc_opt.Pipeline.O0) (c Masc_opt.Pipeline.O1)
+        (c Masc_opt.Pipeline.O2))
+    kernels
+
+(* -------- Table V: loop-fusion ablation (design-choice bench) -------- *)
+
+let table5 () =
+  header
+    "Table V: loop-fusion ablation — proposed dsp8 cycles with the fusion \
+     pass removed ('chain' = 4-stage elementwise pipeline, the shape fusion \
+     targets)";
+  Printf.printf "%-8s %14s %14s %10s
+" "kernel" "no fusion" "with fusion"
+    "saving";
+  let no_fusion_passes =
+    List.filter (fun (name, _) -> name <> "fusion")
+      (Masc_opt.Pipeline.passes Masc_opt.Pipeline.O2)
+  in
+  let chain_kernel =
+    let n = 1024 in
+    let source =
+      "function y = chain(a, b)\n\
+       t1 = a + b;\n\
+       t2 = t1 .* a;\n\
+       t3 = t2 - b;\n\
+       y = t3 .* t3;\n\
+       end"
+    in
+    { (K.fir ()) with
+      K.kname = "chain"; source; entry = "chain";
+      arg_types =
+        [ Masc_sema.Mtype.row_vector Masc_sema.Mtype.Double n;
+          Masc_sema.Mtype.row_vector Masc_sema.Mtype.Double n ];
+      inputs =
+        (fun () ->
+          [ Masc_vm.Interp.xarray_of_floats (K.randoms ~seed:81 n);
+            Masc_vm.Interp.xarray_of_floats (K.randoms ~seed:83 n) ]) }
+  in
+  List.iter
+    (fun (k : K.kernel) ->
+      let with_fusion = cycles (C.proposed ()) k in
+      (* replicate the pipeline without fusion *)
+      let typed =
+        Masc_sema.Infer.infer_source k.K.source ~entry:k.K.entry
+          ~arg_types:k.K.arg_types
+      in
+      let mir = Masc_mir.Lower.lower_program typed in
+      let mir =
+        List.fold_left (fun f (_, p) -> p f) mir no_fusion_passes
+      in
+      let mir, _ = Masc_vectorize.Vectorizer.run T.dsp8 mir in
+      let mir, _ = Masc_vectorize.Complex_sel.run T.dsp8 mir in
+      let mir =
+        mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
+        |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run
+      in
+      let no_fusion =
+        (Masc_vm.Interp.run ~isa:T.dsp8 ~mode:Masc_asip.Cost_model.Proposed
+           mir (k.K.inputs ()))
+          .I.cycles
+      in
+      Printf.printf "%-8s %14d %14d %9.1f%%
+" k.K.kname no_fusion with_fusion
+        (100.0
+        *. (float_of_int (no_fusion - with_fusion) /. float_of_int no_fusion)))
+    (kernels @ [ chain_kernel ])
+
+(* ---------------- Bechamel: compiler throughput ---------------- *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let compile_test (k : K.kernel) =
+    Test.make
+      ~name:(Printf.sprintf "compile %s (proposed)" k.K.kname)
+      (Staged.stage (fun () -> ignore (compile (C.proposed ()) k)))
+  in
+  let simulate_test (k : K.kernel) =
+    let compiled = compile (C.proposed ()) k in
+    let inputs = k.K.inputs () in
+    Test.make
+      ~name:(Printf.sprintf "simulate %s (dsp8)" k.K.kname)
+      (Staged.stage (fun () -> ignore (C.run compiled inputs)))
+  in
+  let tests =
+    List.map compile_test kernels
+    @ List.map simulate_test [ K.fir ~n:256 ~m:16 (); K.fft ~n:64 () ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:(Some 300) () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      (List.map (fun t -> t) tests)
+  in
+  header "Bechamel: compiler and simulator throughput (wall clock)";
+  List.iter2
+    (fun test results ->
+      ignore test;
+      Hashtbl.iter
+        (fun name wall ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              (Toolkit.Instance.monotonic_clock)
+              wall
+          with
+          | ols -> (
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-32s (no estimate)\n" name)
+          | exception _ -> Printf.printf "%-32s (analysis failed)\n" name)
+        results)
+    tests raw
+
+let () =
+  let tables_only =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "tables"
+  in
+  table1 ();
+  ignore (table2 ());
+  table3 ();
+  fig3 ();
+  table4 ();
+  table5 ();
+  if not tables_only then bechamel_benches ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,316 @@
+(* mascc — command-line driver for the masc MATLAB-to-C compiler.
+
+   Subcommands:
+     compile   FILE.m -> ANSI C with ASIP intrinsics (+ runtime header)
+     run       compile and execute on the cycle-accounting simulator
+     targets   list built-in target descriptions
+     kernels   list the bundled benchmark kernels
+
+   Argument-type specifications follow MATLAB Coder's -args idea in a
+   compact syntax: "double:1x1024,double:1x32,complex:8x8,double". *)
+
+open Cmdliner
+module C = Masc.Compiler
+module MT = Masc_sema.Mtype
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+
+let parse_arg_spec (spec : string) : MT.t list =
+  if String.trim spec = "" then []
+  else
+    String.split_on_char ',' spec
+    |> List.map (fun one ->
+           let one = String.trim one in
+           let base_s, dims_s =
+             match String.index_opt one ':' with
+             | Some i ->
+               ( String.sub one 0 i,
+                 Some (String.sub one (i + 1) (String.length one - i - 1)) )
+             | None -> (one, None)
+           in
+           let cplx, base =
+             match base_s with
+             | "double" -> (MT.Real, MT.Double)
+             | "complex" -> (MT.Complex, MT.Double)
+             | "int" -> (MT.Real, MT.Int)
+             | "bool" -> (MT.Real, MT.Bool)
+             | other ->
+               failwith
+                 (Printf.sprintf
+                    "unknown base type '%s' (use double, complex, int, bool)"
+                    other)
+           in
+           match dims_s with
+           | None -> MT.scalar ~cplx base
+           | Some dims -> (
+             match String.split_on_char 'x' dims with
+             | [ r; c ] -> (
+               match (int_of_string_opt r, int_of_string_opt c) with
+               | Some r, Some c -> MT.matrix ~cplx base r c
+               | _ -> failwith ("bad dimensions: " ^ dims))
+             | [ n ] -> (
+               match int_of_string_opt n with
+               | Some n -> MT.row_vector ~cplx base n
+               | None -> failwith ("bad dimensions: " ^ dims))
+             | _ -> failwith ("bad dimensions: " ^ dims)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let resolve_target name isa_file =
+  match isa_file with
+  | Some path -> Masc_asip.Isa_parser.parse_file path
+  | None -> (
+    match Masc_asip.Targets.by_name name with
+    | Some t -> t
+    | None ->
+      failwith
+        (Printf.sprintf "unknown target '%s'; available: %s" name
+           (String.concat ", "
+              (List.map
+                 (fun (t : Masc_asip.Isa.t) -> t.Masc_asip.Isa.tname)
+                 Masc_asip.Targets.all))))
+
+let config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex =
+  if coder then C.coder_baseline ~isa ()
+  else
+    { (C.proposed ~isa ()) with
+      C.opt_level = Masc_opt.Pipeline.level_of_int opt_level;
+      vectorize = not no_vectorize;
+      select_complex = not no_complex }
+
+let handle_errors f =
+  try f () with
+  | Masc_frontend.Diag.Error _ as e ->
+    Printf.eprintf "error: %s\n" (Masc_frontend.Diag.to_string e);
+    exit 1
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ---- compile ---- *)
+
+let do_compile file entry args_spec target isa_file opt_level coder
+    no_vectorize no_complex output emit_header dump_stages =
+  handle_errors @@ fun () ->
+  let isa = resolve_target target isa_file in
+  let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
+  let source = read_file file in
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> Filename.remove_extension (Filename.basename file)
+  in
+  let compiled =
+    C.compile config ~source ~entry ~arg_types:(parse_arg_spec args_spec)
+  in
+  if dump_stages then print_string (C.stage_dump compiled)
+  else begin
+    let c_text = C.c_source compiled in
+    (match output with
+    | Some path ->
+      write_file path c_text;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string c_text);
+    if emit_header then begin
+      let hpath =
+        match output with
+        | Some path ->
+          Filename.concat (Filename.dirname path)
+            Masc_codegen.Runtime.header_filename
+        | None -> Masc_codegen.Runtime.header_filename
+      in
+      write_file hpath (C.runtime_header compiled);
+      Printf.printf "wrote %s\n" hpath
+    end;
+    Printf.printf
+      "# %d map loop(s) and %d reduction loop(s) vectorized; %d cmul, %d \
+       cmac, %d cadd selected\n"
+      compiled.C.vec_stats.Masc_vectorize.Vectorizer.map_loops
+      compiled.C.vec_stats.Masc_vectorize.Vectorizer.reduction_loops
+      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmul
+      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmac
+      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cadd
+  end
+
+(* ---- run ---- *)
+
+let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
+  List.mapi
+    (fun i ty ->
+      let n = MT.numel ty in
+      let vals = Masc_kernels.Kernels.randoms ~seed:(seed + (37 * i)) n in
+      if MT.is_scalar ty then
+        match ty.MT.cplx with
+        | MT.Real -> I.Xscalar (V.Sf vals.(0))
+        | MT.Complex ->
+          I.Xscalar (V.Sc { Complex.re = vals.(0); im = -.vals.(0) })
+      else
+        match ty.MT.cplx with
+        | MT.Real -> I.xarray_of_floats vals
+        | MT.Complex ->
+          I.xarray_of_complex
+            (Array.map (fun v -> { Complex.re = v; im = 0.5 *. v }) vals))
+    arg_types
+
+let do_run file entry args_spec target isa_file opt_level coder no_vectorize
+    no_complex seed show_output =
+  handle_errors @@ fun () ->
+  let isa = resolve_target target isa_file in
+  let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
+  let source = read_file file in
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> Filename.remove_extension (Filename.basename file)
+  in
+  let arg_types = parse_arg_spec args_spec in
+  let compiled = C.compile config ~source ~entry ~arg_types in
+  let inputs = random_inputs ~seed arg_types in
+  let result = C.run compiled inputs in
+  if show_output && result.I.output <> "" then begin
+    print_string result.I.output;
+    print_newline ()
+  end;
+  List.iteri
+    (fun i ret ->
+      match ret with
+      | I.Xscalar s -> Format.printf "ret%d = %a@." i V.pp_scalar s
+      | I.Xarray a ->
+        let n = Array.length a in
+        let shown = min n 8 in
+        Format.printf "ret%d = [%s%s] (%d elements)@." i
+          (String.concat ", "
+             (List.init shown (fun j ->
+                  Format.asprintf "%a" V.pp_scalar a.(j))))
+          (if n > shown then ", ..." else "")
+          n)
+    result.I.rets;
+  Printf.printf "cycles: %d  (mode: %s, target: %s)\n" result.I.cycles
+    (Masc_asip.Cost_model.mode_name config.C.mode)
+    isa.Masc_asip.Isa.tname;
+  Printf.printf "dynamic instructions: %d\n" result.I.dyn_instrs;
+  print_endline "cycle breakdown:";
+  List.iter
+    (fun (cls, cycles) ->
+      Printf.printf "  %-12s %10d (%.1f%%)\n" cls cycles
+        (100.0 *. float_of_int cycles /. float_of_int (max 1 result.I.cycles)))
+    result.I.histogram
+
+(* ---- targets / kernels ---- *)
+
+let do_targets () =
+  List.iter
+    (fun (t : Masc_asip.Isa.t) ->
+      Format.printf "%a@." Masc_asip.Isa.pp t)
+    Masc_asip.Targets.all
+
+let do_kernels () =
+  List.iter
+    (fun (k : Masc_kernels.Kernels.kernel) ->
+      Printf.printf "%-8s %s (%d MATLAB lines, ~%d arithmetic ops)\n"
+        k.Masc_kernels.Kernels.kname k.Masc_kernels.Kernels.description
+        k.Masc_kernels.Kernels.matlab_lines k.Masc_kernels.Kernels.ops_estimate)
+    (Masc_kernels.Kernels.all ())
+
+(* ---- cmdliner wiring ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.m" ~doc:"MATLAB source file")
+
+let entry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "entry"; "e" ] ~docv:"NAME"
+           ~doc:"Entry function (default: the file's base name)")
+
+let args_arg =
+  Arg.(value & opt string ""
+       & info [ "args" ] ~docv:"SPEC"
+           ~doc:"Entry argument types, e.g. 'double:1x1024,double:1x32,complex:8x8,double'")
+
+let target_arg =
+  Arg.(value & opt string "dsp8"
+       & info [ "target"; "t" ] ~docv:"NAME"
+           ~doc:"Built-in target (scalar, dsp4, dsp8, dsp16, dsp8_simd_only, dsp8_cplx_only)")
+
+let isa_arg =
+  Arg.(value & opt (some file) None
+       & info [ "isa" ] ~docv:"FILE.isa"
+           ~doc:"Custom target description file (overrides --target)")
+
+let opt_arg =
+  Arg.(value & opt int 2 & info [ "O" ] ~docv:"LEVEL" ~doc:"Optimization level 0-2")
+
+let coder_arg =
+  Arg.(value & flag
+       & info [ "coder" ]
+           ~doc:"Emit MATLAB-Coder-style baseline code (dynamic descriptors, \
+                 bounds checks, no custom instructions)")
+
+let no_vec_arg =
+  Arg.(value & flag & info [ "no-vectorize" ] ~doc:"Disable SIMD vectorization")
+
+let no_cplx_arg =
+  Arg.(value & flag
+       & info [ "no-complex" ] ~doc:"Disable complex-ISE selection")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE.c" ~doc:"Output C file (default: stdout)")
+
+let header_arg =
+  Arg.(value & flag
+       & info [ "emit-header" ] ~doc:"Also write masc_runtime.h next to the output")
+
+let dump_arg =
+  Arg.(value & flag
+       & info [ "dump-stages" ]
+           ~doc:"Print every compilation stage (typed AST, MIR before/after, C)")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Input generator seed")
+
+let show_output_arg =
+  Arg.(value & flag & info [ "show-output" ] ~doc:"Print disp/fprintf output")
+
+let compile_cmd =
+  let doc = "compile a MATLAB file to ANSI C with ASIP intrinsics" in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(
+      const do_compile $ file_arg $ entry_arg $ args_arg $ target_arg
+      $ isa_arg $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ output_arg
+      $ header_arg $ dump_arg)
+
+let run_cmd =
+  let doc = "compile and execute on the cycle-accounting ASIP simulator" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const do_run $ file_arg $ entry_arg $ args_arg $ target_arg $ isa_arg
+      $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ seed_arg
+      $ show_output_arg)
+
+let targets_cmd =
+  Cmd.v
+    (Cmd.info "targets" ~doc:"list built-in target descriptions")
+    Term.(const do_targets $ const ())
+
+let kernels_cmd =
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"list the bundled benchmark kernels")
+    Term.(const do_kernels $ const ())
+
+let () =
+  let doc = "retargetable MATLAB-to-C compiler for ASIPs" in
+  let info = Cmd.info "mascc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; targets_cmd; kernels_cmd ]))

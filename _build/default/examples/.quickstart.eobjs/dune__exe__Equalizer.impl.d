@@ -1,0 +1,1 @@
+examples/equalizer.ml: Array Complex Float List Masc Masc_asip Masc_kernels Masc_sema Masc_vectorize Masc_vm Printf

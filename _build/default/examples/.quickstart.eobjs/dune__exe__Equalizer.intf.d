@@ -1,0 +1,1 @@
+examples/equalizer.mli:

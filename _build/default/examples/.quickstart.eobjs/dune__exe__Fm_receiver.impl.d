@@ -1,0 +1,1 @@
+examples/fm_receiver.ml: Array Complex Float List Masc Masc_sema Masc_vectorize Masc_vm Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Masc Masc_sema Masc_vm Printf String

@@ -1,0 +1,1 @@
+examples/retarget_isa.ml: List Masc Masc_asip Masc_kernels Masc_sema Masc_vm Printf String

@@ -1,0 +1,1 @@
+examples/spectrum.ml: Array Float Masc Masc_sema Masc_vm Printf

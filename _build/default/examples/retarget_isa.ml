@@ -1,0 +1,89 @@
+(* Retargetability: the paper's central claim is that the compiler
+   supports any processor through a parameterized description of its
+   special instruction set. This example defines a brand-new ASIP in the
+   textual .isa format, compiles the same MATLAB kernel for it and for
+   the built-in targets, and shows how the generated intrinsics and the
+   cycle counts follow the description.
+
+   Run with:  dune exec examples/retarget_isa.exe *)
+
+module C = Masc.Compiler
+module MT = Masc_sema.Mtype
+module I = Masc_vm.Interp
+
+let source =
+  {|function y = scale_add(a, b, g)
+y = g * a + b;
+end
+|}
+
+(* A user-defined ASIP: 6-lane SIMD (an unusual width, to prove the
+   point), slow division, fast memory. *)
+let my_asip_text =
+  {|# my_asip.isa — a made-up audio DSP
+target my_asip
+description "user-defined 6-lane audio DSP"
+vector_width 6
+cost alu 1
+cost fdiv 12
+cost load 1
+cost store 1
+cost loop_overhead 1
+instr audio_vadd   simd.add       lanes=6 latency=1
+instr audio_vmul   simd.mul       lanes=6 latency=1
+instr audio_vmac   simd.mac       lanes=6 latency=1
+instr audio_vload  simd.load      lanes=6 latency=1
+instr audio_vstore simd.store     lanes=6 latency=1
+instr audio_splat  simd.broadcast lanes=6 latency=1
+instr audio_vsum   simd.reduce_add lanes=6 latency=2
+|}
+
+let () =
+  let my_asip = Masc_asip.Isa_parser.parse my_asip_text in
+  let arg_types =
+    [ MT.row_vector MT.Double 300; MT.row_vector MT.Double 300; MT.double ]
+  in
+  let input_a = I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:1 300) in
+  let input_b = I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:2 300) in
+  let inputs = [ input_a; input_b; I.Xscalar (Masc_vm.Value.Sf 0.5) ] in
+
+  Printf.printf "%-10s %-7s %-10s %s\n" "target" "width" "cycles"
+    "intrinsics in generated C";
+  List.iter
+    (fun isa ->
+      let compiled =
+        C.compile (C.proposed ~isa ()) ~source ~entry:"scale_add" ~arg_types
+      in
+      let cycles = (C.run compiled inputs).I.cycles in
+      (* Pull the intrinsic names that actually appear in the C. *)
+      let c = C.c_source compiled in
+      let names =
+        List.filter
+          (fun (d : Masc_asip.Isa.instr_desc) ->
+            let n = d.Masc_asip.Isa.iname ^ "(" in
+            let rec find i =
+              i + String.length n <= String.length c
+              && (String.sub c i (String.length n) = n || find (i + 1))
+            in
+            find 0)
+          isa.Masc_asip.Isa.instrs
+        |> List.map (fun (d : Masc_asip.Isa.instr_desc) -> d.Masc_asip.Isa.iname)
+      in
+      Printf.printf "%-10s %-7d %-10d %s\n" isa.Masc_asip.Isa.tname
+        isa.Masc_asip.Isa.vector_width cycles
+        (String.concat ", " names))
+    [ Masc_asip.Targets.scalar; Masc_asip.Targets.dsp4; Masc_asip.Targets.dsp8;
+      Masc_asip.Targets.dsp16; my_asip ];
+
+  (* Show a snippet of the C generated for the custom target. *)
+  let compiled =
+    C.compile (C.proposed ~isa:my_asip ()) ~source ~entry:"scale_add" ~arg_types
+  in
+  print_endline "\n=== C for my_asip (excerpt) ===";
+  let lines = String.split_on_char '\n' (C.c_source compiled) in
+  List.iteri (fun i l -> if i < 28 then print_endline l) lines;
+  print_endline "...";
+
+  (* The description also feeds the emitted runtime header. *)
+  print_endline "\n=== my_asip intrinsic reference implementations are in masc_runtime.h ===";
+  print_endline "(emit with:  mascc compile FILE.m --isa my_asip.isa --emit-header)"

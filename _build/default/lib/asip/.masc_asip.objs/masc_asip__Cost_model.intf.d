@@ -1,0 +1,1 @@
+lib/asip/cost_model.mli: Isa Masc_mir

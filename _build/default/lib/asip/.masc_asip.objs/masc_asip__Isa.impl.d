@@ -1,0 +1,1 @@
+lib/asip/isa.ml: Format List Option String

@@ -1,0 +1,1 @@
+lib/asip/isa.mli: Format

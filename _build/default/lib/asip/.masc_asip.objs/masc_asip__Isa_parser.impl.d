@@ -1,0 +1,1 @@
+lib/asip/isa_parser.ml: Buffer Diag Isa List Loc Masc_frontend Printf String

@@ -1,0 +1,1 @@
+lib/asip/isa_parser.mli: Isa

@@ -1,0 +1,1 @@
+lib/asip/targets.ml: Isa Isa_parser List Printf String

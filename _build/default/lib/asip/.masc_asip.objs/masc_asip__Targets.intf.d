@@ -1,0 +1,1 @@
+lib/asip/targets.mli: Isa

@@ -1,0 +1,75 @@
+type kind =
+  | Ksimd_add
+  | Ksimd_sub
+  | Ksimd_mul
+  | Ksimd_div
+  | Ksimd_min
+  | Ksimd_max
+  | Kmac
+  | Kload
+  | Kstore
+  | Kbroadcast
+  | Kreduce_add
+  | Kreduce_min
+  | Kreduce_max
+  | Kcmul
+  | Kcmac
+  | Kcadd
+
+type instr_desc = { iname : string; kind : kind; lanes : int; latency : int }
+
+type costs = {
+  alu : int;
+  fdiv : int;
+  math_fn : int;
+  pow_fn : int;
+  load : int;
+  store : int;
+  loop_overhead : int;
+  branch : int;
+  bounds_check : int;
+  descriptor : int;
+  call_overhead : int;
+}
+
+type t = {
+  tname : string;
+  description : string;
+  vector_width : int;
+  instrs : instr_desc list;
+  costs : costs;
+}
+
+let default_costs =
+  { alu = 1; fdiv = 8; math_fn = 20; pow_fn = 30; load = 1; store = 1;
+    loop_overhead = 2; branch = 2; bounds_check = 2; descriptor = 1;
+    call_overhead = 20 }
+
+let find t kind = List.find_opt (fun i -> i.kind = kind) t.instrs
+let has t kind = Option.is_some (find t kind)
+let find_named t name = List.find_opt (fun i -> String.equal i.iname name) t.instrs
+
+let kind_table =
+  [ ("simd.add", Ksimd_add); ("simd.sub", Ksimd_sub); ("simd.mul", Ksimd_mul);
+    ("simd.div", Ksimd_div); ("simd.min", Ksimd_min); ("simd.max", Ksimd_max);
+    ("simd.mac", Kmac); ("simd.load", Kload); ("simd.store", Kstore);
+    ("simd.broadcast", Kbroadcast); ("simd.reduce_add", Kreduce_add);
+    ("simd.reduce_min", Kreduce_min); ("simd.reduce_max", Kreduce_max);
+    ("cplx.mul", Kcmul); ("cplx.mac", Kcmac); ("cplx.add", Kcadd) ]
+
+let kind_of_string s = List.assoc_opt s kind_table
+
+let kind_to_string k =
+  match List.find_opt (fun (_, k') -> k = k') kind_table with
+  | Some (s, _) -> s
+  | None -> assert false
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>target %s (%s)@,vector width: %d@," t.tname
+    t.description t.vector_width;
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "  %-12s %-16s lanes=%-3d latency=%d@," i.iname
+        (kind_to_string i.kind) i.lanes i.latency)
+    t.instrs;
+  Format.fprintf ppf "@]"

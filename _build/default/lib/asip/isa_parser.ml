@@ -1,0 +1,141 @@
+open Masc_frontend
+
+let err line fmt =
+  let pos = { Loc.line; col = 1; offset = 0 } in
+  Diag.error Codegen (Loc.span pos pos) fmt
+
+type accum = {
+  mutable tname : string option;
+  mutable description : string;
+  mutable vector_width : int;
+  mutable instrs : Isa.instr_desc list;  (* reversed *)
+  mutable costs : Isa.costs;
+}
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_int lineno what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> err lineno "%s: expected an integer, found '%s'" what s
+
+let parse_cost lineno (costs : Isa.costs) param value : Isa.costs =
+  let v = parse_int lineno param value in
+  match param with
+  | "alu" -> { costs with Isa.alu = v }
+  | "fdiv" -> { costs with Isa.fdiv = v }
+  | "math_fn" -> { costs with Isa.math_fn = v }
+  | "pow_fn" -> { costs with Isa.pow_fn = v }
+  | "load" -> { costs with Isa.load = v }
+  | "store" -> { costs with Isa.store = v }
+  | "loop_overhead" -> { costs with Isa.loop_overhead = v }
+  | "branch" -> { costs with Isa.branch = v }
+  | "bounds_check" -> { costs with Isa.bounds_check = v }
+  | "descriptor" -> { costs with Isa.descriptor = v }
+  | "call_overhead" -> { costs with Isa.call_overhead = v }
+  | p -> err lineno "unknown cost parameter '%s'" p
+
+let parse_kv lineno (word : string) =
+  match String.index_opt word '=' with
+  | Some i ->
+    (String.sub word 0 i, String.sub word (i + 1) (String.length word - i - 1))
+  | None -> err lineno "expected key=value, found '%s'" word
+
+let parse_instr lineno words =
+  match words with
+  | name :: kind_s :: rest ->
+    let kind =
+      match Isa.kind_of_string kind_s with
+      | Some k -> k
+      | None -> err lineno "unknown instruction kind '%s'" kind_s
+    in
+    let lanes = ref 1 and latency = ref 1 in
+    List.iter
+      (fun w ->
+        let k, v = parse_kv lineno w in
+        match k with
+        | "lanes" -> lanes := parse_int lineno "lanes" v
+        | "latency" -> latency := parse_int lineno "latency" v
+        | _ -> err lineno "unknown instruction attribute '%s'" k)
+      rest;
+    { Isa.iname = name; kind; lanes = !lanes; latency = !latency }
+  | _ -> err lineno "instr: expected '<name> <kind> [lanes=..] [latency=..]'"
+
+let parse text =
+  let acc =
+    { tname = None; description = ""; vector_width = 0; instrs = [];
+      costs = Isa.default_costs }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match split_words line with
+        | [ "target"; name ] -> acc.tname <- Some name
+        | "description" :: _ ->
+          (* free text, possibly quoted *)
+          let text =
+            String.trim (String.sub line 11 (String.length line - 11))
+          in
+          let text =
+            if
+              String.length text >= 2
+              && text.[0] = '"'
+              && text.[String.length text - 1] = '"'
+            then String.sub text 1 (String.length text - 2)
+            else text
+          in
+          acc.description <- text
+        | [ "vector_width"; n ] ->
+          acc.vector_width <- parse_int lineno "vector_width" n
+        | [ "cost"; param; value ] ->
+          acc.costs <- parse_cost lineno acc.costs param value
+        | "instr" :: rest -> acc.instrs <- parse_instr lineno rest :: acc.instrs
+        | word :: _ -> err lineno "unknown directive '%s'" word
+        | [] -> ())
+    lines;
+  match acc.tname with
+  | None -> err 1 "missing 'target <name>' directive"
+  | Some tname ->
+    { Isa.tname; description = acc.description;
+      vector_width = acc.vector_width; instrs = List.rev acc.instrs;
+      costs = acc.costs }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let to_text (isa : Isa.t) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "target %s\n" isa.Isa.tname);
+  Buffer.add_string b (Printf.sprintf "description \"%s\"\n" isa.Isa.description);
+  Buffer.add_string b (Printf.sprintf "vector_width %d\n" isa.Isa.vector_width);
+  let c = isa.Isa.costs in
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "cost %s %d\n" name v))
+    [ ("alu", c.Isa.alu); ("fdiv", c.Isa.fdiv); ("math_fn", c.Isa.math_fn);
+      ("pow_fn", c.Isa.pow_fn); ("load", c.Isa.load); ("store", c.Isa.store);
+      ("loop_overhead", c.Isa.loop_overhead); ("branch", c.Isa.branch);
+      ("bounds_check", c.Isa.bounds_check); ("descriptor", c.Isa.descriptor);
+      ("call_overhead", c.Isa.call_overhead) ];
+  List.iter
+    (fun (i : Isa.instr_desc) ->
+      Buffer.add_string b
+        (Printf.sprintf "instr %s %s lanes=%d latency=%d\n" i.Isa.iname
+           (Isa.kind_to_string i.Isa.kind)
+           i.Isa.lanes i.Isa.latency))
+    isa.Isa.instrs;
+  Buffer.contents b

@@ -1,0 +1,31 @@
+(** Parser for the textual ASIP description format.
+
+    This file format is what makes the compiler retargetable: the special
+    instruction set of the target processor is described in a
+    parameterized way, so any processor can be supported without
+    modifying the compiler (the paper's central interface).
+
+    Format, one directive per line ([#] starts a comment):
+    {v
+    target      <name>
+    description "<free text>"
+    vector_width <n>
+    cost  <param> <cycles>       # alu fdiv math_fn pow_fn load store
+                                 # loop_overhead branch bounds_check
+                                 # descriptor call_overhead
+    instr <intrinsic-name> <kind> lanes=<n> latency=<cycles>
+    v}
+    where [<kind>] is one of [simd.add, simd.sub, simd.mul, simd.div,
+    simd.min, simd.max, simd.mac, simd.load, simd.store, simd.broadcast,
+    simd.reduce_add, simd.reduce_min, simd.reduce_max, cplx.mul,
+    cplx.mac, cplx.add]. *)
+
+(** [parse text] parses a description. Raises {!Masc_frontend.Diag.Error}
+    (phase [Codegen]) with a line-accurate message on malformed input. *)
+val parse : string -> Isa.t
+
+val parse_file : string -> Isa.t
+
+(** [to_text isa] renders a description back to the textual format
+    ([parse (to_text isa)] is the identity up to comments). *)
+val to_text : Isa.t -> string

@@ -1,0 +1,86 @@
+let scalar_text =
+  {|# Plain scalar load/store core (no ISEs); DSP-class single-cycle ALU.
+target scalar
+description "scalar RISC-style core without custom instructions"
+vector_width 0
+cost alu 1
+cost fdiv 8
+cost math_fn 20
+cost pow_fn 30
+cost load 1
+cost store 1
+cost loop_overhead 2
+cost branch 2
+cost bounds_check 2
+cost descriptor 1
+cost call_overhead 20
+|}
+
+(* Width-parameterized DSP ASIP: the same core plus SIMD and complex
+   ISEs. *)
+let dsp_text ~name ~width ~simd ~cplx =
+  let header =
+    Printf.sprintf
+      {|target %s
+description "DSP ASIP, %d-lane f64 SIMD%s%s"
+vector_width %d
+cost alu 1
+cost fdiv 8
+cost math_fn 20
+cost pow_fn 30
+cost load 1
+cost store 1
+cost loop_overhead 2
+cost branch 2
+cost bounds_check 2
+cost descriptor 1
+cost call_overhead 20
+|}
+      name width
+      (if simd then "" else " (SIMD ISEs disabled)")
+      (if cplx then ", complex-arithmetic ISEs" else "")
+      (if simd then width else 0)
+  in
+  let simd_instr mnemonic kind latency =
+    Printf.sprintf "instr %s_f64x%d %s lanes=%d latency=%d\n" mnemonic width
+      kind width latency
+  in
+  let simd_instrs =
+    if not simd then ""
+    else
+      String.concat ""
+        [ simd_instr "vadd" "simd.add" 1; simd_instr "vsub" "simd.sub" 1;
+          simd_instr "vmul" "simd.mul" 1; simd_instr "vdiv" "simd.div" 8;
+          simd_instr "vmin" "simd.min" 1;
+          simd_instr "vmax" "simd.max" 1; simd_instr "vmac" "simd.mac" 1;
+          simd_instr "vld" "simd.load" 1; simd_instr "vst" "simd.store" 1;
+          simd_instr "vsplat" "simd.broadcast" 1;
+          simd_instr "vredadd" "simd.reduce_add" 3;
+          simd_instr "vredmin" "simd.reduce_min" 3;
+          simd_instr "vredmax" "simd.reduce_max" 3 ]
+  in
+  let cplx_instrs =
+    if not cplx then ""
+    else
+      {|instr cmul_f64 cplx.mul lanes=1 latency=1
+instr cmac_f64 cplx.mac lanes=1 latency=1
+instr cadd_f64 cplx.add lanes=1 latency=1
+|}
+  in
+  header ^ simd_instrs ^ cplx_instrs
+
+let scalar = Isa_parser.parse scalar_text
+let dsp8 = Isa_parser.parse (dsp_text ~name:"dsp8" ~width:8 ~simd:true ~cplx:true)
+let dsp4 = Isa_parser.parse (dsp_text ~name:"dsp4" ~width:4 ~simd:true ~cplx:true)
+
+let dsp16 =
+  Isa_parser.parse (dsp_text ~name:"dsp16" ~width:16 ~simd:true ~cplx:true)
+
+let dsp8_simd_only =
+  Isa_parser.parse (dsp_text ~name:"dsp8_simd_only" ~width:8 ~simd:true ~cplx:false)
+
+let dsp8_cplx_only =
+  Isa_parser.parse (dsp_text ~name:"dsp8_cplx_only" ~width:8 ~simd:false ~cplx:true)
+
+let all = [ scalar; dsp4; dsp8; dsp16; dsp8_simd_only; dsp8_cplx_only ]
+let by_name n = List.find_opt (fun (t : Isa.t) -> String.equal t.Isa.tname n) all

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Buffer Complex Diag Float Hashtbl List Loc Masc_asip Masc_frontend Masc_mir Masc_sema Printf Runtime String

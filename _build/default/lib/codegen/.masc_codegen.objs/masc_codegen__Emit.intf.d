@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Masc_asip Masc_mir

@@ -1,0 +1,1 @@
+lib/codegen/harness.ml: Array Buffer Complex Emit List Masc_asip Masc_mir Masc_sema Printf Runtime String

@@ -1,0 +1,1 @@
+lib/codegen/harness.mli: Complex Masc_asip Masc_mir

@@ -1,0 +1,1 @@
+lib/codegen/runtime.ml: Buffer List Masc_asip Printf String

@@ -1,0 +1,1 @@
+lib/codegen/runtime.mli: Masc_asip

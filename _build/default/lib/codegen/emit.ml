@@ -1,0 +1,531 @@
+open Masc_frontend
+module Mir = Masc_mir.Mir
+module Isa = Masc_asip.Isa
+module Cost = Masc_asip.Cost_model
+module MT = Masc_sema.Mtype
+
+let err fmt = Diag.error Codegen Loc.dummy fmt
+
+let c_name (v : Mir.var) =
+  let safe =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+        then c
+        else '_')
+      v.Mir.vname
+  in
+  Printf.sprintf "%s_%d" safe v.Mir.vid
+
+type env = {
+  isa : Isa.t;
+  mode : Cost.mode;
+  buf : Buffer.t;
+  mutable indent : int;
+  func : Mir.func;
+  mutated_params : (int, unit) Hashtbl.t;
+}
+
+let line env fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string env.buf (String.make (2 * env.indent) ' ');
+      Buffer.add_string env.buf s;
+      Buffer.add_char env.buf '\n')
+    fmt
+
+let is_complex_sty (s : Mir.scalar_ty) = s.Mir.cplx = MT.Complex
+
+let sty_ctype (s : Mir.scalar_ty) =
+  if s.Mir.lanes > 1 then Printf.sprintf "masc_v%df64" s.Mir.lanes
+  else if is_complex_sty s then "masc_cplx"
+  else
+    match s.Mir.base with
+    | MT.Double -> "double"
+    | MT.Int | MT.Bool -> "int"
+
+let operand_sty (op : Mir.operand) =
+  match Mir.operand_ty op with Mir.Tscalar s | Mir.Tarray (s, _) -> s
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec operand env (op : Mir.operand) =
+  ignore env;
+  match op with
+  | Mir.Ovar v -> c_name v
+  | Mir.Oconst (Mir.Cf f) -> float_lit f
+  | Mir.Oconst (Mir.Ci i) -> string_of_int i
+  | Mir.Oconst (Mir.Cb b) -> if b then "1" else "0"
+  | Mir.Oconst (Mir.Cc z) ->
+    Printf.sprintf "masc_cplx_make(%s, %s)" (float_lit z.Complex.re)
+      (float_lit z.Complex.im)
+
+(* Render an operand in a complex context, promoting reals. *)
+and cplx_operand env op =
+  if is_complex_sty (operand_sty op) then operand env op
+  else Printf.sprintf "masc_cplx_make(%s, 0.0)" (operand env op)
+
+let is_int_sty (s : Mir.scalar_ty) =
+  (not (is_complex_sty s)) && (s.Mir.base = MT.Int || s.Mir.base = MT.Bool)
+
+let rbin env (op : Mir.binop) a b =
+  let sa = operand_sty a and sb = operand_sty b in
+  let complex = is_complex_sty sa || is_complex_sty sb in
+  let both_int = is_int_sty sa && is_int_sty sb in
+  let infix sym = Printf.sprintf "(%s %s %s)" (operand env a) sym (operand env b) in
+  let call2 f = Printf.sprintf "%s(%s, %s)" f (operand env a) (operand env b) in
+  let ccall2 f =
+    Printf.sprintf "%s(%s, %s)" f (cplx_operand env a) (cplx_operand env b)
+  in
+  if complex then
+    match op with
+    | Mir.Badd -> ccall2 "masc_cplx_add"
+    | Mir.Bsub -> ccall2 "masc_cplx_sub"
+    | Mir.Bmul -> ccall2 "masc_cplx_mul"
+    | Mir.Bdiv -> ccall2 "masc_cplx_div"
+    | Mir.Beq -> ccall2 "masc_cplx_eq"
+    | Mir.Bne -> Printf.sprintf "(!%s)" (ccall2 "masc_cplx_eq")
+    | Mir.Bpow | Mir.Bmod | Mir.Bidiv | Mir.Bmin | Mir.Bmax | Mir.Blt
+    | Mir.Ble | Mir.Bgt | Mir.Bge | Mir.Band | Mir.Bor ->
+      err "operation not defined on complex values in C emission"
+  else
+    match op with
+    | Mir.Badd -> infix "+"
+    | Mir.Bsub -> infix "-"
+    | Mir.Bmul -> infix "*"
+    | Mir.Bdiv ->
+      if both_int then
+        Printf.sprintf "((double)%s / (double)%s)" (operand env a)
+          (operand env b)
+      else infix "/"
+    | Mir.Bidiv -> infix "/"
+    | Mir.Bmod -> if both_int then call2 "masc_imod" else call2 "masc_mod"
+    | Mir.Bpow -> call2 "pow"
+    | Mir.Bmin -> if both_int then call2 "masc_imin" else call2 "masc_min"
+    | Mir.Bmax -> if both_int then call2 "masc_imax" else call2 "masc_max"
+    | Mir.Blt -> infix "<"
+    | Mir.Ble -> infix "<="
+    | Mir.Bgt -> infix ">"
+    | Mir.Bge -> infix ">="
+    | Mir.Beq -> infix "=="
+    | Mir.Bne -> infix "!="
+    | Mir.Band -> infix "&&"
+    | Mir.Bor -> infix "||"
+
+let runop env (op : Mir.unop) a =
+  let sa = operand_sty a in
+  let complex = is_complex_sty sa in
+  match op with
+  | Mir.Uneg ->
+    if complex then Printf.sprintf "masc_cplx_neg(%s)" (operand env a)
+    else Printf.sprintf "(-%s)" (operand env a)
+  | Mir.Unot -> Printf.sprintf "(!%s)" (operand env a)
+  | Mir.Uabs ->
+    if complex then Printf.sprintf "masc_cplx_abs(%s)" (operand env a)
+    else if is_int_sty sa then Printf.sprintf "abs(%s)" (operand env a)
+    else Printf.sprintf "fabs(%s)" (operand env a)
+  | Mir.Ure ->
+    if complex then Printf.sprintf "%s.re" (operand env a)
+    else Printf.sprintf "((double)%s)" (operand env a)
+  | Mir.Uim ->
+    if complex then Printf.sprintf "%s.im" (operand env a) else "0.0"
+  | Mir.Uconj ->
+    if complex then Printf.sprintf "masc_cplx_conj(%s)" (operand env a)
+    else operand env a
+
+let math_call env name args =
+  let arg0_cplx =
+    match args with a :: _ -> is_complex_sty (operand_sty a) | [] -> false
+  in
+  let rendered = List.map (operand env) args in
+  let call f = Printf.sprintf "%s(%s)" f (String.concat ", " rendered) in
+  if arg0_cplx then
+    match name with
+    | "exp" -> call "masc_cplx_exp"
+    | "sqrt" -> call "masc_cplx_sqrt"
+    | _ -> err "math function %s on complex values is not supported in C" name
+  else
+    match name with
+    | "log2" -> call "masc_log2"
+    | "sign" -> call "masc_sign"
+    | "mod" -> call "masc_mod"
+    | "rem" -> call "fmod"
+    | "round" -> call "round"
+    | "trunc" -> call "trunc"
+    | _ -> call name
+
+(* Array access rendering per mode. *)
+let array_numel (v : Mir.var) =
+  match v.Mir.vty with Mir.Tarray (_, n) -> n | Mir.Tscalar _ -> 1
+
+(* MATLAB index expressions may be double-typed (e.g. n/2 in an FFT);
+   they hold exact integral values, rounded like the simulator does. *)
+let index_str env idx =
+  let s = operand env idx in
+  if is_int_sty (operand_sty idx) then s
+  else Printf.sprintf "((int)(%s + 0.5))" s
+
+let access env (arr : Mir.var) idx =
+  match env.mode with
+  | Cost.Proposed -> Printf.sprintf "%s[%s]" (c_name arr) (index_str env idx)
+  | Cost.Coder ->
+    Printf.sprintf "%s.data[masc_bc(%s, %d)]" (c_name arr) (index_str env idx)
+      (array_numel arr)
+
+let array_base_ptr env (arr : Mir.var) idx =
+  match env.mode with
+  | Cost.Proposed -> Printf.sprintf "&%s[%s]" (c_name arr) (index_str env idx)
+  | Cost.Coder ->
+    Printf.sprintf "&%s.data[%s]" (c_name arr) (index_str env idx)
+
+let intrin_name env kind =
+  match Isa.find env.isa kind with
+  | Some d -> d.Isa.iname
+  | None ->
+    err "target %s lacks the %s instruction required by this code"
+      env.isa.Isa.tname (Isa.kind_to_string kind)
+
+let rvalue env (v : Mir.var) (rv : Mir.rvalue) : string =
+  let target_complex = is_complex_sty (Mir.elem_ty v) in
+  let wrap s rv_sty =
+    (* Promote a real value assigned into a complex variable. *)
+    if target_complex && not (is_complex_sty rv_sty) then
+      Printf.sprintf "masc_cplx_make(%s, 0.0)" s
+    else s
+  in
+  match rv with
+  | Mir.Rbin (op, a, b) ->
+    let sa = operand_sty a and sb = operand_sty b in
+    let result_cplx = is_complex_sty sa || is_complex_sty sb in
+    wrap (rbin env op a b)
+      { Mir.base = MT.Double;
+        cplx = (if result_cplx then MT.Complex else MT.Real);
+        lanes = 1 }
+  | Mir.Runop (op, a) ->
+    let res_cplx =
+      match op with
+      | Mir.Uneg | Mir.Uconj -> is_complex_sty (operand_sty a)
+      | Mir.Uabs | Mir.Unot | Mir.Ure | Mir.Uim -> false
+    in
+    wrap (runop env op a)
+      { Mir.base = MT.Double;
+        cplx = (if res_cplx then MT.Complex else MT.Real);
+        lanes = 1 }
+  | Mir.Rmath (name, args) ->
+    let res_cplx =
+      match args with
+      | a :: _ -> is_complex_sty (operand_sty a)
+      | [] -> false
+    in
+    wrap (math_call env name args)
+      { Mir.base = MT.Double;
+        cplx = (if res_cplx then MT.Complex else MT.Real);
+        lanes = 1 }
+  | Mir.Rcomplex (re, im) ->
+    Printf.sprintf "masc_cplx_make(%s, %s)" (operand env re) (operand env im)
+  | Mir.Rload (arr, idx) -> wrap (access env arr idx) (Mir.elem_ty arr)
+  | Mir.Rmove a -> (
+    let sa = operand_sty a in
+    let s = operand env a in
+    if target_complex && not (is_complex_sty sa) then
+      Printf.sprintf "masc_cplx_make(%s, 0.0)" s
+    else if (not target_complex) && is_int_sty (Mir.elem_ty v)
+            && not (is_int_sty sa)
+    then Printf.sprintf "(int)%s" s
+    else s)
+  | Mir.Rvload (arr, base, _) ->
+    Printf.sprintf "%s(%s)" (intrin_name env Isa.Kload)
+      (array_base_ptr env arr base)
+  | Mir.Rvbroadcast (a, _) ->
+    Printf.sprintf "%s(%s)" (intrin_name env Isa.Kbroadcast) (operand env a)
+  | Mir.Rvreduce (r, a) ->
+    let kind =
+      match r with
+      | Mir.Vsum | Mir.Vprod -> Isa.Kreduce_add
+      | Mir.Vmin -> Isa.Kreduce_min
+      | Mir.Vmax -> Isa.Kreduce_max
+    in
+    Printf.sprintf "%s(%s)" (intrin_name env kind) (operand env a)
+  | Mir.Rintrin (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map (operand env) args))
+
+(* Format-string rendering for fprintf: the MATLAB string's characters go
+   into a C literal; conversions receive casts matching operand types. *)
+let c_string_literal s =
+  let b = Buffer.create (String.length s + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec emit_block env (block : Mir.block) =
+  List.iter (emit_instr env) block
+
+and emit_instr env (instr : Mir.instr) =
+  match instr with
+  | Mir.Idef (v, rv) -> line env "%s = %s;" (c_name v) (rvalue env v rv)
+  | Mir.Istore (arr, idx, x) ->
+    let sty = Mir.elem_ty arr in
+    let s = operand env x in
+    let s =
+      if is_complex_sty sty && not (is_complex_sty (operand_sty x)) then
+        Printf.sprintf "masc_cplx_make(%s, 0.0)" s
+      else s
+    in
+    line env "%s = %s;" (access env arr idx) s
+  | Mir.Ivstore (arr, base, x, _) ->
+    line env "%s(%s, %s);"
+      (intrin_name env Isa.Kstore)
+      (array_base_ptr env arr base)
+      (operand env x)
+  | Mir.Iif (c, t, e) ->
+    line env "if (%s) {" (operand env c);
+    env.indent <- env.indent + 1;
+    emit_block env t;
+    env.indent <- env.indent - 1;
+    if e = [] then line env "}"
+    else begin
+      line env "} else {";
+      env.indent <- env.indent + 1;
+      emit_block env e;
+      env.indent <- env.indent - 1;
+      line env "}"
+    end
+  | Mir.Iloop { ivar; lo; step; hi; body } ->
+    let iv = c_name ivar in
+    (match step with
+    | Mir.Oconst (Mir.Ci s) when s > 0 ->
+      line env "for (%s = %s; %s <= %s; %s += %d) {" iv (operand env lo) iv
+        (operand env hi) iv s
+    | Mir.Oconst (Mir.Ci s) ->
+      line env "for (%s = %s; %s >= %s; %s += %d) {" iv (operand env lo) iv
+        (operand env hi) iv s
+    | _ ->
+      line env
+        "for (%s = %s; (%s >= 0) ? (%s <= %s) : (%s >= %s); %s += %s) {" iv
+        (operand env lo) (operand env step) iv (operand env hi) iv
+        (operand env hi) iv (operand env step));
+    env.indent <- env.indent + 1;
+    emit_block env body;
+    env.indent <- env.indent - 1;
+    line env "}"
+  | Mir.Iwhile { cond_block; cond; body } ->
+    line env "for (;;) {";
+    env.indent <- env.indent + 1;
+    emit_block env cond_block;
+    line env "if (!(%s)) break;" (operand env cond);
+    emit_block env body;
+    env.indent <- env.indent - 1;
+    line env "}"
+  | Mir.Ibreak -> line env "break;"
+  | Mir.Icontinue -> line env "continue;"
+  | Mir.Ireturn -> line env "goto masc_done;"
+  | Mir.Icomment s -> line env "/* %s */" s
+  | Mir.Iprint (fmt, ops) -> emit_print env fmt ops
+
+and emit_print env fmt ops =
+  let scalar_ops, array_ops =
+    List.partition
+      (fun op ->
+        match op with
+        | Mir.Ovar v -> not (Mir.is_array v)
+        | Mir.Oconst _ -> true)
+      ops
+  in
+  match fmt with
+  | Some f when array_ops = [] ->
+    (* Match conversions to operands, casting ints for %d. *)
+    let args =
+      List.map
+        (fun op ->
+          let s = operand env op in
+          if is_complex_sty (operand_sty op) then s ^ ".re" else s)
+        scalar_ops
+    in
+    line env "printf(%s%s);" (c_string_literal f)
+      (match args with [] -> "" | _ -> ", " ^ String.concat ", " args)
+  | Some _ | None ->
+    List.iter
+      (fun op ->
+        match op with
+        | Mir.Ovar v when Mir.is_array v ->
+          let n = array_numel v in
+          let elem =
+            match env.mode with
+            | Cost.Proposed -> Printf.sprintf "%s[masc_pi]" (c_name v)
+            | Cost.Coder -> Printf.sprintf "%s.data[masc_pi]" (c_name v)
+          in
+          let elem =
+            if is_complex_sty (Mir.elem_ty v) then elem ^ ".re" else elem
+          in
+          line env
+            "{ int masc_pi; for (masc_pi = 0; masc_pi < %d; masc_pi++) \
+             printf(\"%%g \", (double)%s); printf(\"\\n\"); }"
+            n elem
+        | op ->
+          let s = operand env op in
+          let s =
+            if is_complex_sty (operand_sty op) then s ^ ".re" else s
+          in
+          line env "printf(\"%%g\\n\", (double)%s);" s)
+      ops
+
+(* ---------- declarations and function shell ---------- *)
+
+(* Arrays the function stores into (anywhere), to decide const-ness of
+   array parameters. *)
+let stored_arrays (f : Mir.func) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  let rec go block =
+    List.iter
+      (fun (i : Mir.instr) ->
+        match i with
+        | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
+          Hashtbl.replace tbl arr.Mir.vid ()
+        | Mir.Iif (_, t, e) ->
+          go t;
+          go e
+        | Mir.Iloop l -> go l.Mir.body
+        | Mir.Iwhile { cond_block; body; _ } ->
+          go cond_block;
+          go body
+        | Mir.Idef _ | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn
+        | Mir.Iprint _ | Mir.Icomment _ ->
+          ())
+      block
+  in
+  go f.Mir.body;
+  tbl
+
+let elem_ctype _env (v : Mir.var) = sty_ctype (Mir.elem_ty v)
+
+let param_decl env stored (p : Mir.var) =
+  match p.Mir.vty with
+  | Mir.Tscalar s -> Printf.sprintf "%s %s" (sty_ctype s) (c_name p)
+  | Mir.Tarray (_, n) -> (
+    let base = elem_ctype env p in
+    match env.mode with
+    | Cost.Proposed ->
+      let const = if Hashtbl.mem stored p.Mir.vid then "" else "const " in
+      Printf.sprintf "%s%s %s[%d]" const base (c_name p) n
+    | Cost.Coder ->
+      let ty =
+        if is_complex_sty (Mir.elem_ty p) then "masc_emx_c" else "masc_emx"
+      in
+      Printf.sprintf "%s %s" ty (c_name p))
+
+let ret_decl env (r : Mir.var) =
+  match r.Mir.vty with
+  | Mir.Tscalar s -> Printf.sprintf "%s *masc_out_%s" (sty_ctype s) (c_name r)
+  | Mir.Tarray (_, n) ->
+    Printf.sprintf "%s masc_out_%s[%d]" (elem_ctype env r) (c_name r) n
+
+let func ~isa ~mode (f : Mir.func) : string =
+  let env =
+    { isa; mode; buf = Buffer.create 4096; indent = 0; func = f;
+      mutated_params = Hashtbl.create 8 }
+  in
+  let stored = stored_arrays f in
+  List.iter
+    (fun (p : Mir.var) ->
+      if Hashtbl.mem stored p.Mir.vid then
+        Hashtbl.replace env.mutated_params p.Mir.vid ())
+    f.Mir.params;
+  let params =
+    List.map (param_decl env stored) f.Mir.params
+    @ List.map (ret_decl env) f.Mir.rets
+  in
+  line env "void %s(%s)" f.Mir.name
+    (if params = [] then "void" else String.concat ", " params);
+  line env "{";
+  env.indent <- 1;
+  (* Declarations: every non-parameter variable up front (C89 style, as
+     ASIP toolchains prefer). *)
+  let param_ids = List.map (fun (p : Mir.var) -> p.Mir.vid) f.Mir.params in
+  List.iter
+    (fun (v : Mir.var) ->
+      if not (List.mem v.Mir.vid param_ids) then
+        match v.Mir.vty with
+        | Mir.Tscalar s -> line env "%s %s = %s;" (sty_ctype s) (c_name v)
+            (if s.Mir.lanes > 1 then "{{0.0}}"
+             else if is_complex_sty s then "{0.0, 0.0}"
+             else "0")
+        | Mir.Tarray (_, n) -> (
+          match mode with
+          | Cost.Proposed ->
+            line env "%s %s[%d];" (elem_ctype env v) (c_name v) n
+          | Cost.Coder ->
+            let ety = elem_ctype env v in
+            let dty = if is_complex_sty (Mir.elem_ty v) then "masc_emx_c" else "masc_emx" in
+            line env "%s %s_data[%d];" ety (c_name v) n;
+            line env "%s %s = { %s_data, %d, 1 };" dty (c_name v) (c_name v) n))
+    f.Mir.vars;
+  line env "";
+  emit_block env f.Mir.body;
+  (* Epilogue: copy return variables to out-parameters. *)
+  line env "";
+  if
+    List.exists
+      (fun (i : Mir.instr) -> i = Mir.Ireturn)
+      (let acc = ref [] in
+       let rec collect b =
+         List.iter
+           (fun (i : Mir.instr) ->
+             acc := i :: !acc;
+             match i with
+             | Mir.Iif (_, t, e) ->
+               collect t;
+               collect e
+             | Mir.Iloop l -> collect l.Mir.body
+             | Mir.Iwhile { cond_block; body; _ } ->
+               collect cond_block;
+               collect body
+             | _ -> ())
+           b
+       in
+       collect f.Mir.body;
+       !acc)
+  then line env "masc_done: ;";
+  List.iter
+    (fun (r : Mir.var) ->
+      match r.Mir.vty with
+      | Mir.Tscalar _ -> line env "*masc_out_%s = %s;" (c_name r) (c_name r)
+      | Mir.Tarray (_, n) -> (
+        match mode with
+        | Cost.Proposed ->
+          line env
+            "{ int masc_ci; for (masc_ci = 0; masc_ci < %d; masc_ci++) \
+             masc_out_%s[masc_ci] = %s[masc_ci]; }"
+            n (c_name r) (c_name r)
+        | Cost.Coder ->
+          line env
+            "{ int masc_ci; for (masc_ci = 0; masc_ci < %d; masc_ci++) \
+             masc_out_%s[masc_ci] = %s.data[masc_ci]; }"
+            n (c_name r) (c_name r)))
+    f.Mir.rets;
+  env.indent <- 0;
+  line env "}";
+  Buffer.contents env.buf
+
+let program ~isa ~mode (f : Mir.func) : string =
+  Printf.sprintf
+    "/* Generated by masc — MATLAB-to-C compiler targeting ASIPs.\n\
+    \ * target: %s (%s)\n\
+    \ * style:  %s\n\
+    \ */\n\
+     #include \"%s\"\n\n\
+     %s"
+    isa.Isa.tname isa.Isa.description
+    (Cost.mode_name mode)
+    Runtime.header_filename
+    (func ~isa ~mode f)

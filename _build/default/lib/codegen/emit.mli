@@ -1,0 +1,36 @@
+(** ANSI C emission from MIR.
+
+    Two styles reproduce the paper's comparison:
+
+    - [Proposed]: statically-sized C arrays, direct indexing, and the
+      target's custom instructions as intrinsic calls (the output of the
+      proposed compiler);
+    - [Coder]: MATLAB-Coder-style code with dynamic array descriptors
+      and per-access bounds checks, no intrinsics (the baseline's
+      shape).
+
+    Return values become out-parameters ([double y[N]] or [double *y]);
+    an early [return] in MIR becomes [goto] to the epilogue that copies
+    returns out. The emitted file includes ["masc_runtime.h"]
+    (see {!Runtime}), so it is self-contained and compiles with any C
+    compiler. *)
+
+(** [func ~isa ~mode f] renders one C function. Raises
+    {!Masc_frontend.Diag.Error} (phase [Codegen]) on constructs the mode
+    cannot express. *)
+val func :
+  isa:Masc_asip.Isa.t ->
+  mode:Masc_asip.Cost_model.mode ->
+  Masc_mir.Mir.func ->
+  string
+
+(** [program ~isa ~mode f] renders a complete translation unit:
+    include, banner comment, and the function. *)
+val program :
+  isa:Masc_asip.Isa.t ->
+  mode:Masc_asip.Cost_model.mode ->
+  Masc_mir.Mir.func ->
+  string
+
+(** C identifier for a MIR variable (stable, collision-free). *)
+val c_name : Masc_mir.Mir.var -> string

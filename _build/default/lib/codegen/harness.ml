@@ -1,0 +1,112 @@
+module Mir = Masc_mir.Mir
+module Isa = Masc_asip.Isa
+module Cost = Masc_asip.Cost_model
+module MT = Masc_sema.Mtype
+
+type input =
+  | Hscalar of float
+  | Hcomplex of Complex.t
+  | Harray of float array
+  | Hcarray of Complex.t array
+
+let flit f = Printf.sprintf "%.17g" f
+
+let main_for ~isa ~mode (f : Mir.func) (inputs : input list) : string =
+  ignore isa;
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "int main(void)";
+  add "{";
+  (* argument construction *)
+  List.iteri
+    (fun i (p, input) ->
+      let name = Printf.sprintf "arg%d" i in
+      match (p.Mir.vty, input) with
+      | Mir.Tscalar _, Hscalar v -> add "  double %s = %s;" name (flit v)
+      | Mir.Tscalar _, Hcomplex z ->
+        add "  masc_cplx %s = masc_cplx_make(%s, %s);" name (flit z.Complex.re)
+          (flit z.Complex.im)
+      | Mir.Tarray (_, n), Harray a ->
+        assert (Array.length a = n);
+        let elems = String.concat ", " (Array.to_list (Array.map flit a)) in
+        add "  static double %s_data[%d] = { %s };" name n elems;
+        (match mode with
+        | Cost.Proposed -> ()
+        | Cost.Coder -> add "  masc_emx %s = { %s_data, %d, 1 };" name name n)
+      | Mir.Tarray (_, n), Hcarray a ->
+        assert (Array.length a = n);
+        let elems =
+          String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun z ->
+                    Printf.sprintf "{ %s, %s }" (flit z.Complex.re)
+                      (flit z.Complex.im))
+                  a))
+        in
+        add "  static masc_cplx %s_data[%d] = { %s };" name n elems;
+        (match mode with
+        | Cost.Proposed -> ()
+        | Cost.Coder -> add "  masc_emx_c %s = { %s_data, %d, 1 };" name name n)
+      | _ -> invalid_arg "Harness.main_for: argument kind mismatch")
+    (List.combine f.Mir.params inputs);
+  (* return storage *)
+  List.iteri
+    (fun i (r : Mir.var) ->
+      let name = Printf.sprintf "ret%d" i in
+      match r.Mir.vty with
+      | Mir.Tscalar s ->
+        if s.Mir.cplx = MT.Complex then
+          add "  masc_cplx %s = {0.0, 0.0};" name
+        else if s.Mir.base = MT.Double then add "  double %s = 0.0;" name
+        else add "  int %s = 0;" name
+      | Mir.Tarray (s, n) ->
+        if s.Mir.cplx = MT.Complex then
+          add "  static masc_cplx %s[%d];" name n
+        else add "  static double %s[%d];" name n)
+    f.Mir.rets;
+  (* the call *)
+  let args =
+    List.mapi
+      (fun i (p : Mir.var) ->
+        match (p.Mir.vty, mode) with
+        | Mir.Tscalar _, _ -> Printf.sprintf "arg%d" i
+        | Mir.Tarray _, Cost.Proposed -> Printf.sprintf "arg%d_data" i
+        | Mir.Tarray _, Cost.Coder -> Printf.sprintf "arg%d" i)
+      f.Mir.params
+    @ List.mapi
+        (fun i (r : Mir.var) ->
+          match r.Mir.vty with
+          | Mir.Tscalar _ -> Printf.sprintf "&ret%d" i
+          | Mir.Tarray _ -> Printf.sprintf "ret%d" i)
+        f.Mir.rets
+  in
+  add "  %s(%s);" f.Mir.name (String.concat ", " args);
+  (* print results *)
+  List.iteri
+    (fun i (r : Mir.var) ->
+      let name = Printf.sprintf "ret%d" i in
+      match r.Mir.vty with
+      | Mir.Tscalar s ->
+        if s.Mir.cplx = MT.Complex then
+          add "  printf(\"%%.17e %%.17e\\n\", %s.re, %s.im);" name name
+        else add "  printf(\"%%.17e\\n\", (double)%s);" name
+      | Mir.Tarray (s, n) ->
+        if s.Mir.cplx = MT.Complex then
+          add
+            "  { int i; for (i = 0; i < %d; i++) printf(\"%%.17e %%.17e\\n\", \
+             %s[i].re, %s[i].im); }"
+            n name name
+        else
+          add
+            "  { int i; for (i = 0; i < %d; i++) printf(\"%%.17e\\n\", \
+             %s[i]); }"
+            n name)
+    f.Mir.rets;
+  add "  return 0;";
+  add "}";
+  Buffer.contents b
+
+let full_program ~isa ~mode (f : Mir.func) (inputs : input list) : string =
+  Runtime.header isa ^ "\n" ^ Emit.func ~isa ~mode f ^ "\n"
+  ^ main_for ~isa ~mode f inputs

@@ -1,0 +1,16 @@
+(** Generation of the self-contained C runtime header.
+
+    The generated code represents every ASIP custom instruction as an
+    intrinsic function call, so it "can be used as input to any C/C++
+    compiler" (the paper's portability claim). This module renders the
+    header that makes that true: type definitions ([masc_cplx], the
+    vector register struct), prototypes for each intrinsic in the target
+    description, and reference C implementations (static inline) so that
+    the output compiles and runs on a host compiler; an ASIP toolchain
+    instead maps the intrinsics to its custom instructions. *)
+
+(** [header isa] renders the complete header text for a target. *)
+val header : Masc_asip.Isa.t -> string
+
+(** Name of the emitted header file. *)
+val header_filename : string

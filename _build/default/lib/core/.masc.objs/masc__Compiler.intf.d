@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Masc_asip Masc_mir Masc_opt Masc_sema Masc_vectorize Masc_vm

@@ -1,0 +1,101 @@
+module Isa = Masc_asip.Isa
+module Cost_model = Masc_asip.Cost_model
+module Targets = Masc_asip.Targets
+module Infer = Masc_sema.Infer
+module Lower = Masc_mir.Lower
+module Pipeline = Masc_opt.Pipeline
+module Vectorizer = Masc_vectorize.Vectorizer
+module Complex_sel = Masc_vectorize.Complex_sel
+
+type config = {
+  isa : Isa.t;
+  mode : Cost_model.mode;
+  opt_level : Pipeline.level;
+  vectorize : bool;
+  select_complex : bool;
+}
+
+let proposed ?(isa = Targets.dsp8) () =
+  { isa; mode = Cost_model.Proposed; opt_level = Pipeline.O2;
+    vectorize = true; select_complex = true }
+
+let coder_baseline ?(isa = Targets.scalar) () =
+  { isa; mode = Cost_model.Coder; opt_level = Pipeline.O0; vectorize = false;
+    select_complex = false }
+
+type compiled = {
+  config : config;
+  typed : Masc_sema.Tast.program;
+  mir_raw : Masc_mir.Mir.func;
+  mir : Masc_mir.Mir.func;
+  vec_stats : Vectorizer.stats;
+  cplx_stats : Complex_sel.stats;
+}
+
+let compile config ~source ~entry ~arg_types =
+  let typed = Infer.infer_source source ~entry ~arg_types in
+  let mir_raw = Lower.lower_program typed in
+  Masc_mir.Verify.check mir_raw;
+  let mir = Pipeline.optimize config.opt_level mir_raw in
+  Masc_mir.Verify.check mir;
+  let mir, vec_stats =
+    if config.vectorize then Vectorizer.run config.isa mir
+    else (mir, { Vectorizer.map_loops = 0; reduction_loops = 0 })
+  in
+  let mir, cplx_stats =
+    if config.select_complex then Complex_sel.run config.isa mir
+    else (mir, { Complex_sel.cmul = 0; cmac = 0; cadd = 0 })
+  in
+  (* Clean up after the rewriting stages: fold strip-mine arithmetic,
+     hoist invariant broadcasts out of the vector loops, and drop the
+     dead scalar leftovers. *)
+  let mir =
+    if config.opt_level = Pipeline.O0 then mir
+    else
+      mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
+      |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run
+  in
+  Masc_mir.Verify.check mir;
+  { config; typed; mir_raw; mir; vec_stats; cplx_stats }
+
+let c_source c =
+  Masc_codegen.Emit.program ~isa:c.config.isa ~mode:c.config.mode c.mir
+
+let runtime_header c = Masc_codegen.Runtime.header c.config.isa
+
+let run ?max_cycles c inputs =
+  Masc_vm.Interp.run ?max_cycles ~isa:c.config.isa ~mode:c.config.mode c.mir
+    inputs
+
+let stage_dump c =
+  let b = Buffer.create 8192 in
+  let section title body =
+    Buffer.add_string b
+      (Printf.sprintf "==== %s ====\n%s\n" title body)
+  in
+  let entry = Masc_sema.Tast.entry_func c.typed in
+  section "typed entry signature"
+    (String.concat "\n"
+       (List.map
+          (fun (n, ty) ->
+            Printf.sprintf "  %s : %s" n (Masc_sema.Mtype.to_string ty))
+          (entry.Masc_sema.Tast.tparams @ entry.Masc_sema.Tast.trets)));
+  section "MIR after lowering (scalarized, inlined)"
+    (Masc_mir.Mir_pp.func_to_string c.mir_raw);
+  section
+    (Printf.sprintf
+       "final MIR (opt %s%s%s)"
+       (Pipeline.level_name c.config.opt_level)
+       (if c.config.vectorize then
+          Printf.sprintf ", vectorized: %d map + %d reduction loop(s)"
+            c.vec_stats.Vectorizer.map_loops
+            c.vec_stats.Vectorizer.reduction_loops
+        else "")
+       (if c.config.select_complex then
+          Printf.sprintf ", complex ISEs: %d cmul, %d cmac, %d cadd"
+            c.cplx_stats.Complex_sel.cmul c.cplx_stats.Complex_sel.cmac
+            c.cplx_stats.Complex_sel.cadd
+        else ""))
+    (Masc_mir.Mir_pp.func_to_string c.mir);
+  section "generated C" (c_source c);
+  Buffer.contents b

@@ -1,0 +1,67 @@
+(** The compiler driver: one-call pipeline from MATLAB source to ANSI C
+    with ASIP intrinsics, plus execution on the cycle-accounting
+    simulator.
+
+    Stages (the paper's flow):
+    parse → type/shape inference (entry specialization) → lowering with
+    inlining and scalarization → scalar optimization → SIMD
+    vectorization → complex-ISE selection → C emission.
+
+    Two ready-made configurations reproduce the paper's comparison:
+    {!proposed} (the contribution) and {!coder_baseline} (the
+    MATLAB-Coder-style reference both in code shape and cost model). *)
+
+module Isa = Masc_asip.Isa
+module Cost_model = Masc_asip.Cost_model
+
+type config = {
+  isa : Isa.t;
+  mode : Cost_model.mode;
+  opt_level : Masc_opt.Pipeline.level;
+  vectorize : bool;
+  select_complex : bool;
+}
+
+(** Full proposed flow on the given target (default {!Masc_asip.Targets.dsp8}):
+    O2, vectorization, complex-ISE selection. *)
+val proposed : ?isa:Isa.t -> unit -> config
+
+(** MATLAB-Coder-style baseline: O0, no custom instructions, dynamic
+    array descriptors and bounds checks in both the emitted C and the
+    cost model. Runs on the same core. *)
+val coder_baseline : ?isa:Isa.t -> unit -> config
+
+type compiled = {
+  config : config;
+  typed : Masc_sema.Tast.program;
+  mir_raw : Masc_mir.Mir.func;  (** after lowering, before optimization *)
+  mir : Masc_mir.Mir.func;  (** final form that executes and is emitted *)
+  vec_stats : Masc_vectorize.Vectorizer.stats;
+  cplx_stats : Masc_vectorize.Complex_sel.stats;
+}
+
+(** [compile config ~source ~entry ~arg_types] runs the whole pipeline.
+    Raises {!Masc_frontend.Diag.Error} on any front-end failure. *)
+val compile :
+  config ->
+  source:string ->
+  entry:string ->
+  arg_types:Masc_sema.Mtype.t list ->
+  compiled
+
+(** Generated translation unit (without the runtime header). *)
+val c_source : compiled -> string
+
+(** The matching self-contained runtime header text. *)
+val runtime_header : compiled -> string
+
+(** Execute on the simulator with the configuration's cost model. *)
+val run :
+  ?max_cycles:int ->
+  compiled ->
+  Masc_vm.Interp.xvalue list ->
+  Masc_vm.Interp.result
+
+(** Multi-stage dump for [--dump-stages]: typed AST summary, raw MIR,
+    final MIR, and C. *)
+val stage_dump : compiled -> string

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Diag List Loc String Token

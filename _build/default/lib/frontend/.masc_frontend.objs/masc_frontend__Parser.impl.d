@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Diag Lexer List Loc Token

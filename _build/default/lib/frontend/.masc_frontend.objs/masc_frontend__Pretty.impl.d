@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Ast Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/pretty.mli: Ast Format

@@ -1,0 +1,97 @@
+type unop = Uneg | Uplus | Unot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Ldiv
+  | Pow
+  | Emul
+  | Ediv
+  | Eldiv
+  | Epow
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Andand
+  | Oror
+
+type transpose_kind = Ctranspose | Plain_transpose
+
+type expr = { desc : expr_desc; span : Loc.span }
+
+and expr_desc =
+  | Num of float
+  | Imag of float
+  | Str of string
+  | Bool of bool
+  | Var of string
+  | Colon
+  | End_marker
+  | Range of expr * expr option * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Transpose of transpose_kind * expr
+  | Apply of string * expr list
+  | Matrix of expr list list
+
+type lvalue = { base : string; indices : expr list; lspan : Loc.span }
+type stmt = { sdesc : stmt_desc; sspan : Loc.span }
+
+and stmt_desc =
+  | Assign of lvalue * expr
+  | Multi_assign of lvalue list * expr
+  | Expr_stmt of expr
+  | If of (expr * block) list * block
+  | For of string * expr * block
+  | While of expr * block
+  | Break
+  | Continue
+  | Return
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  returns : string list;
+  body : block;
+  fspan : Loc.span;
+}
+
+type program = { funcs : func list }
+
+let mk span desc = { desc; span }
+
+let find_func program name =
+  List.find (fun f -> String.equal f.fname name) program.funcs
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Ldiv -> "\\"
+  | Pow -> "^"
+  | Emul -> ".*"
+  | Ediv -> "./"
+  | Eldiv -> ".\\"
+  | Epow -> ".^"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "~="
+  | And -> "&"
+  | Or -> "|"
+  | Andand -> "&&"
+  | Oror -> "||"
+
+let unop_name = function Uneg -> "-" | Uplus -> "+" | Unot -> "~"

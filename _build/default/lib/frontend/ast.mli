@@ -1,0 +1,93 @@
+(** Abstract syntax of the MATLAB subset.
+
+    The grammar cannot distinguish [f(x)] (function call) from [a(x)]
+    (array indexing); both parse to {!Apply} and are disambiguated during
+    semantic analysis. [end] inside indices and bare [:] parse to
+    {!End_marker} and {!Colon}; they are only legal in index position,
+    which semantic analysis enforces. *)
+
+type unop = Uneg | Uplus | Unot
+
+type binop =
+  | Add
+  | Sub
+  | Mul  (** matrix multiply [*] *)
+  | Div  (** matrix right divide [/] *)
+  | Ldiv  (** matrix left divide [\ ] *)
+  | Pow  (** matrix power [^] *)
+  | Emul  (** element-wise [.*] *)
+  | Ediv  (** element-wise [./] *)
+  | Eldiv  (** element-wise [.\ ] *)
+  | Epow  (** element-wise [.^] *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And  (** element-wise [&] *)
+  | Or  (** element-wise [|] *)
+  | Andand  (** short-circuit [&&] *)
+  | Oror  (** short-circuit [||] *)
+
+type transpose_kind =
+  | Ctranspose  (** ['] conjugate transpose *)
+  | Plain_transpose  (** [.'] *)
+
+type expr = { desc : expr_desc; span : Loc.span }
+
+and expr_desc =
+  | Num of float
+  | Imag of float  (** imaginary literal: [Imag 2.0] is [2i] *)
+  | Str of string
+  | Bool of bool
+  | Var of string
+  | Colon
+  | End_marker
+  | Range of expr * expr option * expr  (** [lo : step : hi]; step optional *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Transpose of transpose_kind * expr
+  | Apply of string * expr list  (** call or indexing: [f(e1, ..., en)] *)
+  | Matrix of expr list list  (** [[row; row; ...]], rows of elements *)
+
+type lvalue = {
+  base : string;
+  indices : expr list;  (** empty for a plain variable target *)
+  lspan : Loc.span;
+}
+
+type stmt = { sdesc : stmt_desc; sspan : Loc.span }
+
+and stmt_desc =
+  | Assign of lvalue * expr
+  | Multi_assign of lvalue list * expr  (** [[a, b] = f(...)] *)
+  | Expr_stmt of expr
+  | If of (expr * block) list * block  (** if/elseif arms, then else block *)
+  | For of string * expr * block
+  | While of expr * block
+  | Break
+  | Continue
+  | Return
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  returns : string list;
+  body : block;
+  fspan : Loc.span;
+}
+
+(** A source file: one or more functions. A script file parses to a single
+    pseudo-function named ["__script__"] with no parameters or returns. *)
+type program = { funcs : func list }
+
+val mk : Loc.span -> expr_desc -> expr
+
+(** [find_func program name] raises [Not_found] if absent. *)
+val find_func : program -> string -> func
+
+val binop_name : binop -> string
+val unop_name : unop -> string

@@ -1,0 +1,22 @@
+type phase = Lex | Parse | Sema | Lower | Optimize | Vectorize | Codegen | Simulate
+
+exception Error of phase * Loc.span * string
+
+let phase_name = function
+  | Lex -> "lexical analysis"
+  | Parse -> "parsing"
+  | Sema -> "semantic analysis"
+  | Lower -> "lowering"
+  | Optimize -> "optimization"
+  | Vectorize -> "vectorization"
+  | Codegen -> "code generation"
+  | Simulate -> "simulation"
+
+let error phase span fmt =
+  Format.kasprintf (fun msg -> raise (Error (phase, span, msg))) fmt
+
+let to_string = function
+  | Error (phase, span, msg) ->
+    if span == Loc.dummy then Format.asprintf "%s: %s" (phase_name phase) msg
+    else Format.asprintf "%s: %a: %s" (phase_name phase) Loc.pp span msg
+  | _ -> invalid_arg "Diag.to_string: not a Diag.Error"

@@ -1,0 +1,19 @@
+(** Compiler diagnostics.
+
+    Every phase of the compiler reports user-facing failures through
+    {!exception-Error}, carrying the phase name, a source span and a
+    message. *)
+
+type phase = Lex | Parse | Sema | Lower | Optimize | Vectorize | Codegen | Simulate
+
+exception Error of phase * Loc.span * string
+
+val phase_name : phase -> string
+
+(** [error phase span fmt ...] raises {!exception-Error} with a formatted
+    message. *)
+val error : phase -> Loc.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [to_string exn] renders an {!exception-Error}; raises [Invalid_argument]
+    on other exceptions. *)
+val to_string : exn -> string

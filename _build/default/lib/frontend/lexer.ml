@@ -1,0 +1,317 @@
+(* The lexer is a single left-to-right scan with one token of look-behind:
+   the kind of the previously produced token decides whether a quote is a
+   transpose operator (after a value-like token with no intervening space)
+   or opens a character string. *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable prev : Token.kind option;  (* last non-newline token produced *)
+  mutable spaced : bool;  (* whitespace seen since previous token *)
+  mutable acc : Token.t list;  (* produced tokens, reversed *)
+}
+
+let current_pos st : Loc.pos = { line = st.line; col = st.col; offset = st.pos }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st fmt =
+  let p = current_pos st in
+  Diag.error Lex (Loc.span p p) fmt
+
+let emit st start_pos kind =
+  let span = Loc.span start_pos (current_pos st) in
+  st.acc <- { Token.kind; span; spaced_before = st.spaced } :: st.acc;
+  st.prev <- Some kind;
+  st.spaced <- false
+
+(* A quote directly after one of these tokens is a transpose operator. *)
+let value_like = function
+  | Token.IDENT _ | Token.NUM _ | Token.IMAG _ | Token.RPAREN | Token.RBRACKET
+  | Token.RBRACE | Token.END | Token.QUOTE | Token.DOTQUOTE | Token.TRUE
+  | Token.FALSE | Token.STR _ ->
+    true
+  | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let skip_line st =
+  let rec loop () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
+
+(* Block comment: %{ ... %} possibly nested. The opener has already been
+   consumed up to and including '{'. *)
+let skip_block_comment st =
+  let rec loop depth =
+    if depth = 0 then ()
+    else
+      match (peek st, peek2 st) with
+      | Some '%', Some '{' ->
+        advance st;
+        advance st;
+        loop (depth + 1)
+      | Some '%', Some '}' ->
+        advance st;
+        advance st;
+        loop (depth - 1)
+      | Some _, _ ->
+        advance st;
+        loop depth
+      | None, _ -> error st "unterminated block comment"
+  in
+  loop 1
+
+let lex_number st =
+  let start_pos = current_pos st in
+  let b = Buffer.create 16 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+      Buffer.add_char b c;
+      advance st;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+    Buffer.add_char b '.';
+    advance st;
+    digits ()
+  | Some '.', (Some ('e' | 'E') | None) ->
+    (* "1." and "1.e3" are valid MATLAB numbers; "1.*" is NUM DOTSTAR. *)
+    Buffer.add_char b '.';
+    advance st
+  | Some '.', Some _ ->
+    (* Leave the dot: it starts an element-wise operator like ".*". *)
+    ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') -> (
+    (* Exponent only if followed by digits (or sign then digits). *)
+    let save_pos = st.pos and save_line = st.line and save_col = st.col in
+    advance st;
+    let sign =
+      match peek st with
+      | Some (('+' | '-') as c) ->
+        advance st;
+        Some c
+      | _ -> None
+    in
+    match peek st with
+    | Some c when is_digit c ->
+      Buffer.add_char b 'e';
+      (match sign with Some s -> Buffer.add_char b s | None -> ());
+      digits ()
+    | _ ->
+      st.pos <- save_pos;
+      st.line <- save_line;
+      st.col <- save_col)
+  | _ -> ());
+  let text = Buffer.contents b in
+  let value =
+    match float_of_string_opt text with
+    | Some v -> v
+    | None -> error st "malformed number '%s'" text
+  in
+  match peek st with
+  | Some ('i' | 'j')
+    when match peek2 st with Some c -> not (is_alnum c) | None -> true ->
+    advance st;
+    emit st start_pos (Token.IMAG value)
+  | _ -> emit st start_pos (Token.NUM value)
+
+let lex_ident st =
+  let start_pos = current_pos st in
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | Some c when is_alnum c ->
+      Buffer.add_char b c;
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = Buffer.contents b in
+  let kind =
+    match Token.keyword_of_string text with
+    | Some kw -> kw
+    | None -> Token.IDENT text
+  in
+  emit st start_pos kind
+
+(* Single-quoted string; '' inside is an escaped quote. The opening quote
+   has already been consumed. *)
+let lex_string st start_pos close =
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | Some c when c = close ->
+      advance st;
+      if peek st = Some close then begin
+        Buffer.add_char b close;
+        advance st;
+        loop ()
+      end
+    | Some '\n' | None -> error st "unterminated string literal"
+    | Some c ->
+      Buffer.add_char b c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  emit st start_pos (Token.STR (Buffer.contents b))
+
+let lex_op st =
+  let start_pos = current_pos st in
+  let c = match peek st with Some c -> c | None -> assert false in
+  let simple kind =
+    advance st;
+    emit st start_pos kind
+  in
+  let pair second kind_pair kind_single =
+    advance st;
+    if peek st = Some second then begin
+      advance st;
+      emit st start_pos kind_pair
+    end
+    else emit st start_pos kind_single
+  in
+  match c with
+  | '(' -> simple Token.LPAREN
+  | ')' -> simple Token.RPAREN
+  | '[' -> simple Token.LBRACKET
+  | ']' -> simple Token.RBRACKET
+  | '{' -> simple Token.LBRACE
+  | '}' -> simple Token.RBRACE
+  | ',' -> simple Token.COMMA
+  | ';' -> simple Token.SEMI
+  | ':' -> simple Token.COLON
+  | '@' -> simple Token.AT
+  | '+' -> simple Token.PLUS
+  | '-' -> simple Token.MINUS
+  | '*' -> simple Token.STAR
+  | '/' -> simple Token.SLASH
+  | '\\' -> simple Token.BACKSLASH
+  | '^' -> simple Token.CARET
+  | '=' -> pair '=' Token.EQ Token.ASSIGN
+  | '<' -> pair '=' Token.LE Token.LT
+  | '>' -> pair '=' Token.GE Token.GT
+  | '&' -> pair '&' Token.AMPAMP Token.AMP
+  | '|' -> pair '|' Token.BARBAR Token.BAR
+  | '~' -> pair '=' Token.NE Token.NOT
+  | '.' -> (
+    advance st;
+    match peek st with
+    | Some '*' ->
+      advance st;
+      emit st start_pos Token.DOTSTAR
+    | Some '/' ->
+      advance st;
+      emit st start_pos Token.DOTSLASH
+    | Some '\\' ->
+      advance st;
+      emit st start_pos Token.DOTBACKSLASH
+    | Some '^' ->
+      advance st;
+      emit st start_pos Token.DOTCARET
+    | Some '\'' ->
+      advance st;
+      emit st start_pos Token.DOTQUOTE
+    | _ -> error st "unexpected '.'")
+  | c -> error st "unexpected character '%c'" c
+
+let tokenize src =
+  let st =
+    { src; pos = 0; line = 1; col = 1; prev = None; spaced = false; acc = [] }
+  in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some (' ' | '\t' | '\r') ->
+      advance st;
+      st.spaced <- true;
+      loop ()
+    | Some '\n' ->
+      let start_pos = current_pos st in
+      advance st;
+      (* Collapse consecutive newlines; suppress a leading newline. *)
+      (match st.prev with
+      | Some Token.NEWLINE | None -> ()
+      | Some _ -> emit st start_pos Token.NEWLINE);
+      st.prev <- Some Token.NEWLINE;
+      st.spaced <- true;
+      loop ()
+    | Some '%' ->
+      advance st;
+      (if peek st = Some '{' then begin
+         advance st;
+         skip_block_comment st
+       end
+       else skip_line st);
+      st.spaced <- true;
+      loop ()
+    | Some '.' when peek2 st = Some '.' && st.pos + 2 < String.length src
+                    && src.[st.pos + 2] = '.' ->
+      (* Continuation: skip the rest of the line including the newline. *)
+      skip_line st;
+      if peek st = Some '\n' then advance st;
+      st.spaced <- true;
+      loop ()
+    | Some c when is_digit c ->
+      lex_number st;
+      loop ()
+    | Some '.' when match peek2 st with Some c -> is_digit c | None -> false ->
+      lex_number st;
+      loop ()
+    | Some c when is_alpha c ->
+      lex_ident st;
+      loop ()
+    | Some '\'' ->
+      let start_pos = current_pos st in
+      let transpose =
+        (not st.spaced) && match st.prev with Some k -> value_like k | None -> false
+      in
+      advance st;
+      if transpose then emit st start_pos Token.QUOTE
+      else lex_string st start_pos '\'';
+      loop ()
+    | Some '"' ->
+      let start_pos = current_pos st in
+      advance st;
+      lex_string st start_pos '"';
+      loop ()
+    | Some _ ->
+      lex_op st;
+      loop ()
+  in
+  loop ();
+  let eof_pos = current_pos st in
+  let eof =
+    { Token.kind = Token.EOF; span = Loc.span eof_pos eof_pos;
+      spaced_before = st.spaced }
+  in
+  List.rev (eof :: st.acc)

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the MATLAB subset.
+
+    Handles MATLAB's lexical quirks: [%] line comments and [%{ %}] block
+    comments, [...] line continuations, the ambiguity of ['] between
+    character strings and the transpose operator, and imaginary-number
+    suffixes ([2i], [3.5j]). Line breaks are significant and are returned
+    as {!Token.NEWLINE} tokens (consecutive breaks are collapsed). *)
+
+(** [tokenize src] lexes the whole buffer. The result always ends with a
+    single {!Token.EOF} token. Raises {!Diag.Error} on malformed input. *)
+val tokenize : string -> Token.t list

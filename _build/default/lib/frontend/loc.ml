@@ -1,0 +1,27 @@
+type pos = { line : int; col : int; offset : int }
+type span = { start_pos : pos; end_pos : pos }
+
+let start_of_file = { line = 1; col = 1; offset = 0 }
+
+let dummy =
+  let p = { line = 0; col = 0; offset = -1 } in
+  { start_pos = p; end_pos = p }
+
+let span start_pos end_pos = { start_pos; end_pos }
+
+let merge a b =
+  if a == dummy then b
+  else if b == dummy then a
+  else { start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+let pp ppf s =
+  if s.start_pos.line = s.end_pos.line then
+    Format.fprintf ppf "line %d, columns %d-%d" s.start_pos.line s.start_pos.col
+      s.end_pos.col
+  else
+    Format.fprintf ppf "lines %d:%d-%d:%d" s.start_pos.line s.start_pos.col
+      s.end_pos.line s.end_pos.col
+
+let to_string s = Format.asprintf "%a" pp s

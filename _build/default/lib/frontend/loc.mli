@@ -1,0 +1,23 @@
+(** Source positions and spans for diagnostics. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset in the source buffer *)
+}
+
+type span = { start_pos : pos; end_pos : pos }
+
+val start_of_file : pos
+
+(** [dummy] is used for synthesized nodes that have no source location. *)
+val dummy : span
+
+val span : pos -> pos -> span
+
+(** [merge a b] covers everything from the start of [a] to the end of [b]. *)
+val merge : span -> span -> span
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp : Format.formatter -> span -> unit
+val to_string : span -> string

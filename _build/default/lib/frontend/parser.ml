@@ -1,0 +1,513 @@
+open Ast
+
+type state = {
+  tokens : Token.t array;
+  mutable cursor : int;
+  mutable in_matrix : bool;  (* inside [ ] at the current nesting level *)
+  mutable index_depth : int;  (* inside ( ) of an Apply: 'end' and ':' legal *)
+}
+
+let peek st = st.tokens.(st.cursor)
+let peek_kind st = (peek st).Token.kind
+
+let peek2_kind st =
+  if st.cursor + 1 < Array.length st.tokens then
+    Some st.tokens.(st.cursor + 1).Token.kind
+  else None
+
+let advance st =
+  if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error_at st fmt =
+  let t = peek st in
+  Diag.error Parse t.Token.span fmt
+
+let expect st kind =
+  let t = peek st in
+  if t.Token.kind = kind then next st
+  else
+    error_at st "expected %s but found %s" (Token.describe kind)
+      (Token.describe t.Token.kind)
+
+let accept st kind =
+  if peek_kind st = kind then begin
+    advance st;
+    true
+  end
+  else false
+
+let span_here st = (peek st).Token.span
+
+(* Tokens that may begin an expression; used for matrix-element
+   juxtaposition ([a b] has two elements). *)
+let starts_expr st (k : Token.kind) =
+  match k with
+  | Token.NUM _ | Token.IMAG _ | Token.STR _ | Token.IDENT _ | Token.TRUE
+  | Token.FALSE | Token.LPAREN | Token.LBRACKET | Token.NOT ->
+    true
+  | Token.PLUS | Token.MINUS -> true
+  | Token.END -> st.index_depth > 0
+  | _ -> false
+
+let binop_of_token = function
+  | Token.PLUS -> Some Add
+  | Token.MINUS -> Some Sub
+  | Token.STAR -> Some Mul
+  | Token.SLASH -> Some Div
+  | Token.BACKSLASH -> Some Ldiv
+  | Token.DOTSTAR -> Some Emul
+  | Token.DOTSLASH -> Some Ediv
+  | Token.DOTBACKSLASH -> Some Eldiv
+  | Token.LT -> Some Lt
+  | Token.LE -> Some Le
+  | Token.GT -> Some Gt
+  | Token.GE -> Some Ge
+  | Token.EQ -> Some Eq
+  | Token.NE -> Some Ne
+  | Token.AMP -> Some And
+  | Token.BAR -> Some Or
+  | Token.AMPAMP -> Some Andand
+  | Token.BARBAR -> Some Oror
+  | _ -> None
+
+(* In matrix context, a '+'/'-' that is preceded by whitespace but not
+   followed by it starts a new element rather than continuing a binary
+   operation: [1 -2] vs [1 - 2]. *)
+let is_element_break st =
+  st.in_matrix
+  &&
+  match peek_kind st with
+  | Token.PLUS | Token.MINUS -> (
+    (peek st).Token.spaced_before
+    &&
+    match peek2_kind st with
+    | Some _ ->
+      not st.tokens.(st.cursor + 1).Token.spaced_before
+      && starts_expr st st.tokens.(st.cursor + 1).Token.kind
+    | None -> false)
+  | _ -> false
+
+let rec parse_expr_prec st = parse_oror st
+
+and parse_left_chain st ops sub =
+  let rec loop lhs =
+    match binop_of_token (peek_kind st) with
+    | Some op when List.mem op ops && not (is_element_break st) ->
+      advance st;
+      let rhs = sub st in
+      loop (mk (Loc.merge lhs.span rhs.span) (Binop (op, lhs, rhs)))
+    | Some _ | None -> lhs
+  in
+  loop (sub st)
+
+and parse_oror st = parse_left_chain st [ Oror ] parse_andand
+and parse_andand st = parse_left_chain st [ Andand ] parse_or
+and parse_or st = parse_left_chain st [ Or ] parse_and
+and parse_and st = parse_left_chain st [ And ] parse_cmp
+and parse_cmp st = parse_left_chain st [ Lt; Le; Gt; Ge; Eq; Ne ] parse_range
+
+and parse_range st =
+  let first = parse_additive st in
+  if peek_kind st = Token.COLON then begin
+    advance st;
+    let second = parse_additive st in
+    if peek_kind st = Token.COLON then begin
+      advance st;
+      let third = parse_additive st in
+      mk (Loc.merge first.span third.span) (Range (first, Some second, third))
+    end
+    else mk (Loc.merge first.span second.span) (Range (first, None, second))
+  end
+  else first
+
+and parse_additive st = parse_left_chain st [ Add; Sub ] parse_mult
+
+and parse_mult st =
+  parse_left_chain st [ Mul; Div; Ldiv; Emul; Ediv; Eldiv ] parse_unary
+
+and parse_unary st =
+  let sp = span_here st in
+  match peek_kind st with
+  | Token.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    mk (Loc.merge sp e.span) (Unop (Uneg, e))
+  | Token.PLUS ->
+    advance st;
+    let e = parse_unary st in
+    mk (Loc.merge sp e.span) (Unop (Uplus, e))
+  | Token.NOT ->
+    advance st;
+    let e = parse_unary st in
+    mk (Loc.merge sp e.span) (Unop (Unot, e))
+  | _ -> parse_power st
+
+(* Power binds tighter than unary minus, and its right operand may itself
+   be signed: 2^-1 is legal. MATLAB's ^ is left-associative. *)
+and parse_power st =
+  let rec loop lhs =
+    match peek_kind st with
+    | Token.CARET | Token.DOTCARET ->
+      let op = if peek_kind st = Token.CARET then Pow else Epow in
+      advance st;
+      let rhs = parse_power_operand st in
+      loop (mk (Loc.merge lhs.span rhs.span) (Binop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop (parse_postfix st)
+
+and parse_power_operand st =
+  let sp = span_here st in
+  match peek_kind st with
+  | Token.MINUS ->
+    advance st;
+    let e = parse_power_operand st in
+    mk (Loc.merge sp e.span) (Unop (Uneg, e))
+  | Token.PLUS ->
+    advance st;
+    parse_power_operand st
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match peek_kind st with
+    | Token.QUOTE ->
+      let t = next st in
+      loop (mk (Loc.merge e.span t.Token.span) (Transpose (Ctranspose, e)))
+    | Token.DOTQUOTE ->
+      let t = next st in
+      loop (mk (Loc.merge e.span t.Token.span) (Transpose (Plain_transpose, e)))
+    | Token.LPAREN -> (
+      match e.desc with
+      | Var name ->
+        advance st;
+        let args = parse_args st in
+        let close = expect st Token.RPAREN in
+        loop (mk (Loc.merge e.span close.Token.span) (Apply (name, args)))
+      | Num _ | Imag _ | Str _ | Bool _ | Colon | End_marker | Range _
+      | Unop _ | Binop _ | Transpose _ | Apply _ | Matrix _ ->
+        (* Chained application like f(x)(y) is not in the subset. *)
+        e)
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  let saved_matrix = st.in_matrix in
+  st.in_matrix <- false;
+  st.index_depth <- st.index_depth + 1;
+  let args =
+    if peek_kind st = Token.RPAREN then []
+    else
+      let rec loop acc =
+        let arg =
+          (* A bare ':' argument selects a whole dimension. *)
+          if
+            peek_kind st = Token.COLON
+            && (peek2_kind st = Some Token.COMMA
+               || peek2_kind st = Some Token.RPAREN)
+          then mk (next st).Token.span Colon
+          else parse_expr_prec st
+        in
+        if accept st Token.COMMA then loop (arg :: acc)
+        else List.rev (arg :: acc)
+      in
+      loop []
+  in
+  st.index_depth <- st.index_depth - 1;
+  st.in_matrix <- saved_matrix;
+  args
+
+and parse_primary st =
+  let t = peek st in
+  let sp = t.Token.span in
+  match t.Token.kind with
+  | Token.NUM f ->
+    advance st;
+    mk sp (Num f)
+  | Token.IMAG f ->
+    advance st;
+    mk sp (Imag f)
+  | Token.STR s ->
+    advance st;
+    mk sp (Str s)
+  | Token.TRUE ->
+    advance st;
+    mk sp (Bool true)
+  | Token.FALSE ->
+    advance st;
+    mk sp (Bool false)
+  | Token.IDENT name ->
+    advance st;
+    mk sp (Var name)
+  | Token.END when st.index_depth > 0 ->
+    advance st;
+    mk sp End_marker
+  | Token.LPAREN ->
+    advance st;
+    let saved = st.in_matrix in
+    st.in_matrix <- false;
+    let e = parse_expr_prec st in
+    st.in_matrix <- saved;
+    let close = expect st Token.RPAREN in
+    mk (Loc.merge sp close.Token.span) e.desc
+  | Token.LBRACKET -> parse_matrix st
+  | k -> error_at st "expected an expression but found %s" (Token.describe k)
+
+and parse_matrix st =
+  let open_tok = expect st Token.LBRACKET in
+  let saved = st.in_matrix in
+  st.in_matrix <- true;
+  let rows = ref [] in
+  let row = ref [] in
+  let finish_row () =
+    if !row <> [] then begin
+      rows := List.rev !row :: !rows;
+      row := []
+    end
+  in
+  let rec loop () =
+    match peek_kind st with
+    | Token.RBRACKET -> ()
+    | Token.SEMI | Token.NEWLINE ->
+      advance st;
+      finish_row ();
+      loop ()
+    | Token.COMMA ->
+      advance st;
+      loop ()
+    | k when starts_expr st k ->
+      let e = parse_expr_prec st in
+      row := e :: !row;
+      loop ()
+    | k ->
+      error_at st "unexpected %s inside matrix literal" (Token.describe k)
+  in
+  loop ();
+  finish_row ();
+  st.in_matrix <- saved;
+  let close = expect st Token.RBRACKET in
+  mk (Loc.merge open_tok.Token.span close.Token.span) (Matrix (List.rev !rows))
+
+(* ---- statements ---- *)
+
+let skip_separators st =
+  let rec loop () =
+    match peek_kind st with
+    | Token.NEWLINE | Token.SEMI | Token.COMMA ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let lvalue_of_expr (e : expr) : lvalue =
+  match e.desc with
+  | Var base -> { base; indices = []; lspan = e.span }
+  | Apply (base, indices) -> { base; indices; lspan = e.span }
+  | Num _ | Imag _ | Str _ | Bool _ | Colon | End_marker | Range _ | Unop _
+  | Binop _ | Transpose _ | Matrix _ ->
+    Diag.error Parse e.span "this expression cannot be assigned to"
+
+let block_terminators =
+  [ Token.END; Token.ELSE; Token.ELSEIF; Token.CASE; Token.OTHERWISE;
+    Token.EOF ]
+
+let rec parse_block st =
+  let rec loop acc =
+    skip_separators st;
+    let k = peek_kind st in
+    if List.mem k block_terminators || k = Token.FUNCTION then List.rev acc
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let sp = span_here st in
+  match peek_kind st with
+  | Token.IF ->
+    advance st;
+    let arms, else_block = parse_if_arms st in
+    let end_tok = expect st Token.END in
+    { sdesc = If (arms, else_block); sspan = Loc.merge sp end_tok.Token.span }
+  | Token.FOR ->
+    advance st;
+    let var =
+      match peek_kind st with
+      | Token.IDENT v ->
+        advance st;
+        v
+      | k -> error_at st "expected loop variable but found %s" (Token.describe k)
+    in
+    let _ = expect st Token.ASSIGN in
+    let e = parse_expr_prec st in
+    let body = parse_block st in
+    let end_tok = expect st Token.END in
+    { sdesc = For (var, e, body); sspan = Loc.merge sp end_tok.Token.span }
+  | Token.WHILE ->
+    advance st;
+    let e = parse_expr_prec st in
+    let body = parse_block st in
+    let end_tok = expect st Token.END in
+    { sdesc = While (e, body); sspan = Loc.merge sp end_tok.Token.span }
+  | Token.SWITCH ->
+    (* Desugared to an if/elseif chain: expressions in this subset are
+       pure, so re-evaluating the scrutinee per arm is sound. *)
+    advance st;
+    let scrutinee = parse_expr_prec st in
+    skip_separators st;
+    let rec arms acc =
+      match peek_kind st with
+      | Token.CASE ->
+        advance st;
+        let v = parse_expr_prec st in
+        let body = parse_block st in
+        let cond =
+          mk (Loc.merge scrutinee.span v.span) (Binop (Eq, scrutinee, v))
+        in
+        arms ((cond, body) :: acc)
+      | Token.OTHERWISE ->
+        advance st;
+        let body = parse_block st in
+        (List.rev acc, body)
+      | _ -> (List.rev acc, [])
+    in
+    let case_arms, otherwise = arms [] in
+    if case_arms = [] then
+      error_at st "switch requires at least one 'case'";
+    let end_tok = expect st Token.END in
+    { sdesc = If (case_arms, otherwise); sspan = Loc.merge sp end_tok.Token.span }
+  | Token.BREAK ->
+    advance st;
+    { sdesc = Break; sspan = sp }
+  | Token.CONTINUE ->
+    advance st;
+    { sdesc = Continue; sspan = sp }
+  | Token.RETURN ->
+    advance st;
+    { sdesc = Return; sspan = sp }
+  | _ ->
+    (* Expression or assignment: parse an expression, then look for '='. *)
+    let e = parse_expr_prec st in
+    if peek_kind st = Token.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr_prec st in
+      let sspan = Loc.merge sp rhs.span in
+      match e.desc with
+      | Matrix [ row ] ->
+        { sdesc = Multi_assign (List.map lvalue_of_expr row, rhs); sspan }
+      | Var _ | Apply _ -> { sdesc = Assign (lvalue_of_expr e, rhs); sspan }
+      | Num _ | Imag _ | Str _ | Bool _ | Colon | End_marker | Range _
+      | Unop _ | Binop _ | Transpose _ | Matrix _ ->
+        Diag.error Parse e.span "invalid assignment target"
+    end
+    else { sdesc = Expr_stmt e; sspan = Loc.merge sp e.span }
+
+and parse_if_arms st =
+  let cond = parse_expr_prec st in
+  let body = parse_block st in
+  match peek_kind st with
+  | Token.ELSEIF ->
+    advance st;
+    let arms, else_block = parse_if_arms st in
+    ((cond, body) :: arms, else_block)
+  | Token.ELSE ->
+    advance st;
+    let else_block = parse_block st in
+    ([ (cond, body) ], else_block)
+  | _ -> ([ (cond, body) ], [])
+
+(* ---- functions and programs ---- *)
+
+let parse_name st =
+  match peek_kind st with
+  | Token.IDENT v ->
+    advance st;
+    v
+  | k -> error_at st "expected an identifier but found %s" (Token.describe k)
+
+let parse_function st =
+  let sp = span_here st in
+  let _ = expect st Token.FUNCTION in
+  (* Three header shapes: 'function name(...)', 'function r = name(...)',
+     'function [r1, r2] = name(...)'. *)
+  let returns, fname =
+    match peek_kind st with
+    | Token.LBRACKET ->
+      advance st;
+      let rec names acc =
+        let v = parse_name st in
+        if accept st Token.COMMA then names (v :: acc) else List.rev (v :: acc)
+      in
+      let rs = names [] in
+      let _ = expect st Token.RBRACKET in
+      let _ = expect st Token.ASSIGN in
+      (rs, parse_name st)
+    | _ ->
+      let first = parse_name st in
+      if accept st Token.ASSIGN then ([ first ], parse_name st) else ([], first)
+  in
+  let params =
+    if accept st Token.LPAREN then begin
+      if accept st Token.RPAREN then []
+      else
+        let rec names acc =
+          let v = parse_name st in
+          if accept st Token.COMMA then names (v :: acc)
+          else List.rev (v :: acc)
+        in
+        let ps = names [] in
+        let _ = expect st Token.RPAREN in
+        ps
+    end
+    else []
+  in
+  let body = parse_block st in
+  let end_span =
+    if peek_kind st = Token.END then (next st).Token.span else span_here st
+  in
+  { fname; params; returns; body; fspan = Loc.merge sp end_span }
+
+let make_state src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  { tokens; cursor = 0; in_matrix = false; index_depth = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  skip_separators st;
+  if peek_kind st = Token.FUNCTION then begin
+    let rec loop acc =
+      skip_separators st;
+      if peek_kind st = Token.EOF then List.rev acc
+      else if peek_kind st = Token.FUNCTION then loop (parse_function st :: acc)
+      else
+        error_at st "expected 'function' or end of file but found %s"
+          (Token.describe (peek_kind st))
+    in
+    { funcs = loop [] }
+  end
+  else begin
+    let body = parse_block st in
+    if peek_kind st <> Token.EOF then
+      error_at st "unexpected %s at top level" (Token.describe (peek_kind st));
+    {
+      funcs =
+        [ { fname = "__script__"; params = []; returns = []; body;
+            fspan = Loc.dummy } ];
+    }
+  end
+
+let parse_expr src =
+  let st = make_state src in
+  skip_separators st;
+  let e = parse_expr_prec st in
+  skip_separators st;
+  if peek_kind st <> Token.EOF then
+    error_at st "trailing input after expression: %s"
+      (Token.describe (peek_kind st));
+  e

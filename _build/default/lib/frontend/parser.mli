@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the MATLAB subset.
+
+    Grammar notes:
+    - [f(x)] parses to {!Ast.Apply} whether [f] is a function or an array;
+      semantic analysis disambiguates.
+    - Matrix literals implement MATLAB's whitespace rule: [[1 -2]] is two
+      elements, [[1 - 2]] and [[1-2]] are a subtraction.
+    - A file is either one or more [function] definitions or a script
+      (bare statements), which parses to a pseudo-function
+      ["__script__"]. *)
+
+(** Parse a whole source file. Raises {!Diag.Error} on syntax errors. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (used by tests and the REPL-style examples).
+    Raises {!Diag.Error} if the input is not exactly one expression. *)
+val parse_expr : string -> Ast.expr

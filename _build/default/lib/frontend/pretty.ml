@@ -1,0 +1,138 @@
+open Ast
+
+(* Binding strength used to decide parenthesization; mirrors the parser's
+   precedence table. Higher binds tighter. *)
+let binop_level = function
+  | Oror -> 1
+  | Andand -> 2
+  | Or -> 3
+  | And -> 4
+  | Lt | Le | Gt | Ge | Eq | Ne -> 5
+  (* range ':' sits at 6 *)
+  | Add | Sub -> 7
+  | Mul | Div | Ldiv | Emul | Ediv | Eldiv -> 8
+  (* unary sits at 9 *)
+  | Pow | Epow -> 10
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec pp_at level ppf e =
+  match e.desc with
+  | Num f -> Format.pp_print_string ppf (float_str f)
+  | Imag f -> Format.fprintf ppf "%si" (float_str f)
+  | Str s ->
+    let escaped = String.concat "''" (String.split_on_char '\'' s) in
+    Format.fprintf ppf "'%s'" escaped
+  | Bool true -> Format.pp_print_string ppf "true"
+  | Bool false -> Format.pp_print_string ppf "false"
+  | Var v -> Format.pp_print_string ppf v
+  | Colon -> Format.pp_print_string ppf ":"
+  | End_marker -> Format.pp_print_string ppf "end"
+  | Range (lo, step, hi) ->
+    let pp_part = pp_at 7 in
+    if level > 6 then Format.pp_print_char ppf '(';
+    (match step with
+    | None -> Format.fprintf ppf "%a:%a" pp_part lo pp_part hi
+    | Some s -> Format.fprintf ppf "%a:%a:%a" pp_part lo pp_part s pp_part hi);
+    if level > 6 then Format.pp_print_char ppf ')'
+  | Unop (op, a) ->
+    if level > 9 then Format.pp_print_char ppf '(';
+    Format.fprintf ppf "%s%a" (unop_name op) (pp_at 9) a;
+    if level > 9 then Format.pp_print_char ppf ')'
+  | Binop (op, a, b) ->
+    let lv = binop_level op in
+    if level > lv then Format.pp_print_char ppf '(';
+    (* All our binary operators are left-associative except power, which
+       is printed fully parenthesized on the right via level+1. *)
+    Format.fprintf ppf "%a %s %a" (pp_at lv) a (binop_name op)
+      (pp_at (lv + 1)) b;
+    if level > lv then Format.pp_print_char ppf ')'
+  | Transpose (kind, a) ->
+    let op = match kind with Ctranspose -> "'" | Plain_transpose -> ".'" in
+    Format.fprintf ppf "%a%s" (pp_at 11) a op
+  | Apply (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_at 0))
+      args
+  | Matrix rows ->
+    let pp_row ppf row =
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        (pp_at 0) ppf row
+    in
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_row)
+      rows
+
+let pp_expr ppf e = pp_at 0 ppf e
+
+let pp_lvalue ppf (lv : lvalue) =
+  match lv.indices with
+  | [] -> Format.pp_print_string ppf lv.base
+  | idx ->
+    Format.fprintf ppf "%s(%a)" lv.base
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      idx
+
+let rec pp_stmt ppf st =
+  match st.sdesc with
+  | Assign (lv, e) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_lvalue lv pp_expr e
+  | Multi_assign (lvs, e) ->
+    Format.fprintf ppf "@[<h>[%a] = %a;@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_lvalue)
+      lvs pp_expr e
+  | Expr_stmt e -> Format.fprintf ppf "@[<h>%a;@]" pp_expr e
+  | If (arms, else_block) ->
+    List.iteri
+      (fun i (cond, body) ->
+        let kw = if i = 0 then "if" else "elseif" in
+        Format.fprintf ppf "@[<v 2>%s %a@,%a@]@," kw pp_expr cond pp_block body)
+      arms;
+    if else_block <> [] then
+      Format.fprintf ppf "@[<v 2>else@,%a@]@," pp_block else_block;
+    Format.pp_print_string ppf "end"
+  | For (v, e, body) ->
+    Format.fprintf ppf "@[<v 2>for %s = %a@,%a@]@,end" v pp_expr e pp_block body
+  | While (e, body) ->
+    Format.fprintf ppf "@[<v 2>while %a@,%a@]@,end" pp_expr e pp_block body
+  | Break -> Format.pp_print_string ppf "break;"
+  | Continue -> Format.pp_print_string ppf "continue;"
+  | Return -> Format.pp_print_string ppf "return;"
+
+and pp_block ppf block =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf block
+
+let pp_func ppf (f : func) =
+  let pp_names =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Format.pp_print_string
+  in
+  (match f.returns with
+  | [] -> Format.fprintf ppf "@[<v 2>function %s(%a)" f.fname pp_names f.params
+  | [ r ] ->
+    Format.fprintf ppf "@[<v 2>function %s = %s(%a)" r f.fname pp_names f.params
+  | rs ->
+    Format.fprintf ppf "@[<v 2>function [%a] = %s(%a)" pp_names rs f.fname
+      pp_names f.params);
+  if f.body <> [] then Format.fprintf ppf "@,%a" pp_block f.body;
+  Format.fprintf ppf "@]@,end"
+
+let pp_program ppf (p : program) =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func)
+    p.funcs
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let program_to_string p = Format.asprintf "%a@." pp_program p

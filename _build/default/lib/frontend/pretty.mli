@@ -1,0 +1,14 @@
+(** Printing the AST back to canonical MATLAB source.
+
+    The output is fully parenthesized where precedence is not obvious and
+    uses only commas/semicolons inside matrix literals, so it re-parses to
+    the same tree (modulo source spans); the parser round-trip property
+    test relies on this. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_block : Format.formatter -> Ast.block -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,135 @@
+type kind =
+  | NUM of float
+  | IMAG of float
+  | STR of string
+  | IDENT of string
+  | FUNCTION
+  | IF
+  | ELSEIF
+  | ELSE
+  | FOR
+  | WHILE
+  | BREAK
+  | CONTINUE
+  | RETURN
+  | SWITCH
+  | CASE
+  | OTHERWISE
+  | END
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | NEWLINE
+  | COLON
+  | ASSIGN
+  | AT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | CARET
+  | DOTSTAR
+  | DOTSLASH
+  | DOTBACKSLASH
+  | DOTCARET
+  | QUOTE
+  | DOTQUOTE
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMP
+  | BAR
+  | AMPAMP
+  | BARBAR
+  | NOT
+  | EOF
+
+type t = { kind : kind; span : Loc.span; spaced_before : bool }
+
+let keyword_of_string = function
+  | "function" -> Some FUNCTION
+  | "if" -> Some IF
+  | "elseif" -> Some ELSEIF
+  | "else" -> Some ELSE
+  | "for" -> Some FOR
+  | "while" -> Some WHILE
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "return" -> Some RETURN
+  | "switch" -> Some SWITCH
+  | "case" -> Some CASE
+  | "otherwise" -> Some OTHERWISE
+  | "end" -> Some END
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let describe = function
+  | NUM f -> Printf.sprintf "number %g" f
+  | IMAG f -> Printf.sprintf "imaginary number %gi" f
+  | STR s -> Printf.sprintf "string '%s'" s
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | FUNCTION -> "'function'"
+  | IF -> "'if'"
+  | ELSEIF -> "'elseif'"
+  | ELSE -> "'else'"
+  | FOR -> "'for'"
+  | WHILE -> "'while'"
+  | BREAK -> "'break'"
+  | CONTINUE -> "'continue'"
+  | RETURN -> "'return'"
+  | SWITCH -> "'switch'"
+  | CASE -> "'case'"
+  | OTHERWISE -> "'otherwise'"
+  | END -> "'end'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | NEWLINE -> "end of line"
+  | COLON -> "':'"
+  | ASSIGN -> "'='"
+  | AT -> "'@'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | BACKSLASH -> "'\\'"
+  | CARET -> "'^'"
+  | DOTSTAR -> "'.*'"
+  | DOTSLASH -> "'./'"
+  | DOTBACKSLASH -> "'.\\'"
+  | DOTCARET -> "'.^'"
+  | QUOTE -> "transpose '"
+  | DOTQUOTE -> "transpose .'"
+  | EQ -> "'=='"
+  | NE -> "'~='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | NOT -> "'~'"
+  | EOF -> "end of input"
+
+let pp ppf t = Format.pp_print_string ppf (describe t.kind)

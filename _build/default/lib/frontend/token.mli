@@ -1,0 +1,75 @@
+(** Tokens of the MATLAB subset.
+
+    Each token records whether it was preceded by whitespace
+    ([spaced_before]); the parser needs this to resolve MATLAB's
+    whitespace-sensitive matrix-literal grammar (e.g. [[1 -2]] is two
+    elements while [[1 - 2]] and [[1-2]] are a subtraction). *)
+
+type kind =
+  | NUM of float  (** numeric literal, e.g. [3], [2.5], [1e-3] *)
+  | IMAG of float  (** imaginary literal, e.g. [2i], [1.5j] *)
+  | STR of string  (** character/string literal *)
+  | IDENT of string
+  (* keywords *)
+  | FUNCTION
+  | IF
+  | ELSEIF
+  | ELSE
+  | FOR
+  | WHILE
+  | BREAK
+  | CONTINUE
+  | RETURN
+  | SWITCH
+  | CASE
+  | OTHERWISE
+  | END  (** both block terminator and last-index keyword *)
+  | TRUE
+  | FALSE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | NEWLINE  (** significant line break (statement/row separator) *)
+  | COLON
+  | ASSIGN  (** [=] *)
+  | AT  (** [@] *)
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | CARET
+  | DOTSTAR
+  | DOTSLASH
+  | DOTBACKSLASH
+  | DOTCARET
+  | QUOTE  (** ['] complex-conjugate transpose *)
+  | DOTQUOTE  (** [.'] plain transpose *)
+  | EQ  (** [==] *)
+  | NE  (** [~=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMP  (** [&] element-wise and *)
+  | BAR  (** [|] element-wise or *)
+  | AMPAMP  (** [&&] short-circuit and *)
+  | BARBAR  (** [||] short-circuit or *)
+  | NOT  (** [~] *)
+  | EOF
+
+type t = { kind : kind; span : Loc.span; spaced_before : bool }
+
+val keyword_of_string : string -> kind option
+
+(** Human-readable rendering used in parse-error messages. *)
+val describe : kind -> string
+
+val pp : Format.formatter -> t -> unit

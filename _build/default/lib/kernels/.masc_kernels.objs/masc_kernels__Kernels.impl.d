@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Array Complex Float List Masc_sema Masc_vm Printf String

@@ -1,0 +1,1 @@
+lib/kernels/kernels.mli: Masc_sema Masc_vm

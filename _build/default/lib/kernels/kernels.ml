@@ -1,0 +1,393 @@
+module MT = Masc_sema.Mtype
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+
+type kernel = {
+  kname : string;
+  description : string;
+  source : string;
+  entry : string;
+  arg_types : MT.t list;
+  inputs : unit -> I.xvalue list;
+  golden : I.xvalue list -> I.xvalue list;
+  ops_estimate : int;
+  matlab_lines : int;
+}
+
+let randoms ~seed n =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((1103515245 * !state) + 12345) land 0x3FFFFFFF;
+      (float_of_int !state /. float_of_int 0x3FFFFFFF *. 2.0) -. 1.0)
+
+let count_lines s =
+  List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s))
+
+let floats_of = function
+  | I.Xarray a -> Array.map V.to_float a
+  | I.Xscalar s -> [| V.to_float s |]
+
+(* ---------- fir ---------- *)
+
+let fir_source =
+  {|function y = fir_filter(x, h)
+% FIR filter with pre-reversed coefficients (windowed MAC form).
+n = length(x);
+m = length(h);
+y = zeros(1, n - m + 1);
+for i = 1:n-m+1
+  acc = 0;
+  for k = 1:m
+    acc = acc + h(k) * x(i + k - 1);
+  end
+  y(i) = acc;
+end
+end
+|}
+
+let fir ?(n = 1024) ?(m = 32) () =
+  let inputs () =
+    [ I.xarray_of_floats (randoms ~seed:11 n);
+      I.xarray_of_floats (randoms ~seed:23 m) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ x; h ] ->
+      let out = Array.make (n - m + 1) 0.0 in
+      for i = 0 to n - m do
+        let acc = ref 0.0 in
+        for k = 0 to m - 1 do
+          acc := !acc +. (h.(k) *. x.(i + k))
+        done;
+        out.(i) <- !acc
+      done;
+      [ I.xarray_of_floats out ]
+    | _ -> invalid_arg "fir golden"
+  in
+  { kname = "fir";
+    description = Printf.sprintf "FIR filter, %d samples x %d taps" n m;
+    source = fir_source; entry = "fir_filter";
+    arg_types = [ MT.row_vector MT.Double n; MT.row_vector MT.Double m ];
+    inputs; golden;
+    ops_estimate = 2 * (n - m + 1) * m;
+    matlab_lines = count_lines fir_source }
+
+(* ---------- iir ---------- *)
+
+let iir_source =
+  {|function y = iir_biquad(x, b0, b1, b2, a1, a2)
+% Cascade of biquad sections, direct form II transposed.
+n = length(x);
+s = length(b0);
+y = zeros(1, n);
+z1 = zeros(1, s);
+z2 = zeros(1, s);
+for i = 1:n
+  v = x(i);
+  for j = 1:s
+    w = b0(j) * v + z1(j);
+    z1(j) = b1(j) * v - a1(j) * w + z2(j);
+    z2(j) = b2(j) * v - a2(j) * w;
+    v = w;
+  end
+  y(i) = v;
+end
+end
+|}
+
+let iir ?(n = 1024) ?(sections = 4) () =
+  let s = sections in
+  (* Mild, stable coefficients. *)
+  let coeff base =
+    Array.init s (fun j -> base /. float_of_int (j + 2))
+  in
+  let inputs () =
+    [ I.xarray_of_floats (randoms ~seed:31 n);
+      I.xarray_of_floats (coeff 0.4); I.xarray_of_floats (coeff 0.2);
+      I.xarray_of_floats (coeff 0.1); I.xarray_of_floats (coeff 0.3);
+      I.xarray_of_floats (coeff 0.15) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ x; b0; b1; b2; a1; a2 ] ->
+      let z1 = Array.make s 0.0 and z2 = Array.make s 0.0 in
+      let out = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let v = ref x.(i) in
+        for j = 0 to s - 1 do
+          let w = (b0.(j) *. !v) +. z1.(j) in
+          z1.(j) <- (b1.(j) *. !v) -. (a1.(j) *. w) +. z2.(j);
+          z2.(j) <- (b2.(j) *. !v) -. (a2.(j) *. w);
+          v := w
+        done;
+        out.(i) <- !v
+      done;
+      [ I.xarray_of_floats out ]
+    | _ -> invalid_arg "iir golden"
+  in
+  { kname = "iir";
+    description =
+      Printf.sprintf "IIR biquad cascade, %d samples x %d sections" n s;
+    source = iir_source; entry = "iir_biquad";
+    arg_types =
+      [ MT.row_vector MT.Double n; MT.row_vector MT.Double s;
+        MT.row_vector MT.Double s; MT.row_vector MT.Double s;
+        MT.row_vector MT.Double s; MT.row_vector MT.Double s ];
+    inputs; golden;
+    ops_estimate = 9 * n * s;
+    matlab_lines = count_lines iir_source }
+
+(* ---------- fft ---------- *)
+
+let fft_source =
+  {|function X = fft_radix2(xr, xi)
+% Iterative radix-2 decimation-in-time FFT.
+n = length(xr);
+X = complex(xr, xi);
+j = 1;
+for i = 1:n-1
+  if i < j
+    t = X(j);
+    X(j) = X(i);
+    X(i) = t;
+  end
+  k = n / 2;
+  while k < j
+    j = j - k;
+    k = k / 2;
+  end
+  j = j + k;
+end
+len = 2;
+while len <= n
+  ang = -2 * pi / len;
+  wlen = complex(cos(ang), sin(ang));
+  i = 1;
+  while i <= n
+    w = complex(1, 0);
+    half = len / 2;
+    for k = 0:half-1
+      u = X(i + k);
+      v = X(i + k + half) * w;
+      X(i + k) = u + v;
+      X(i + k + half) = u - v;
+      w = w * wlen;
+    end
+    i = i + len;
+  end
+  len = len * 2;
+end
+end
+|}
+
+let fft ?(n = 256) () =
+  let inputs () =
+    [ I.xarray_of_floats (randoms ~seed:41 n);
+      I.xarray_of_floats (randoms ~seed:43 n) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ xr; xi ] ->
+      let x =
+        Array.init n (fun i -> { Complex.re = xr.(i); im = xi.(i) })
+      in
+      (* reference: direct O(n log n) iterative FFT, same algorithm *)
+      let a = Array.copy x in
+      (* bit reversal *)
+      let j = ref 0 in
+      for i = 0 to n - 2 do
+        if i < !j then begin
+          let t = a.(!j) in
+          a.(!j) <- a.(i);
+          a.(i) <- t
+        end;
+        let k = ref (n / 2) in
+        while !k <= !j do
+          j := !j - !k;
+          k := !k / 2
+        done;
+        j := !j + !k
+      done;
+      let len = ref 2 in
+      while !len <= n do
+        let ang = -2.0 *. Float.pi /. float_of_int !len in
+        let wlen = { Complex.re = cos ang; im = sin ang } in
+        let i = ref 0 in
+        while !i < n do
+          let w = ref Complex.one in
+          for k = 0 to (!len / 2) - 1 do
+            let u = a.(!i + k) in
+            let v = Complex.mul a.(!i + k + (!len / 2)) !w in
+            a.(!i + k) <- Complex.add u v;
+            a.(!i + k + (!len / 2)) <- Complex.sub u v;
+            w := Complex.mul !w wlen
+          done;
+          i := !i + !len
+        done;
+        len := !len * 2
+      done;
+      [ I.xarray_of_complex a ]
+    | _ -> invalid_arg "fft golden"
+  in
+  { kname = "fft";
+    description = Printf.sprintf "radix-2 complex FFT, %d points" n;
+    source = fft_source; entry = "fft_radix2";
+    arg_types = [ MT.row_vector MT.Double n; MT.row_vector MT.Double n ];
+    inputs; golden;
+    ops_estimate =
+      (let log2n =
+         int_of_float (Float.round (log (float_of_int n) /. log 2.0))
+       in
+       10 * n * log2n / 2);
+    matlab_lines = count_lines fft_source }
+
+(* ---------- matmul ---------- *)
+
+let matmul_source =
+  {|function c = mat_mul(a, b)
+% Dense matrix multiply, saxpy (ikj) order for stride-1 inner loops.
+[n, m] = size(a);
+[m2, p] = size(b);
+c = zeros(n, p);
+for j = 1:p
+  for k = 1:m
+    bkj = b(k, j);
+    for i = 1:n
+      c(i, j) = c(i, j) + a(i, k) * bkj;
+    end
+  end
+end
+end
+|}
+
+let matmul ?(n = 32) () =
+  let inputs () =
+    [ I.xarray_of_floats (randoms ~seed:53 (n * n));
+      I.xarray_of_floats (randoms ~seed:59 (n * n)) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ a; b ] ->
+      (* column-major *)
+      let c = Array.make (n * n) 0.0 in
+      for j = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          let bkj = b.((j * n) + k) in
+          for i = 0 to n - 1 do
+            c.((j * n) + i) <- c.((j * n) + i) +. (a.((k * n) + i) *. bkj)
+          done
+        done
+      done;
+      [ I.xarray_of_floats c ]
+    | _ -> invalid_arg "matmul golden"
+  in
+  { kname = "matmul";
+    description = Printf.sprintf "matrix multiply, %dx%d" n n;
+    source = matmul_source; entry = "mat_mul";
+    arg_types = [ MT.matrix MT.Double n n; MT.matrix MT.Double n n ];
+    inputs; golden;
+    ops_estimate = 2 * n * n * n;
+    matlab_lines = count_lines matmul_source }
+
+(* ---------- xcorr ---------- *)
+
+let xcorr_source =
+  {|function r = xcorr_win(x, y)
+% Sliding-window cross-correlation.
+n = length(x);
+m = length(y);
+r = zeros(1, n - m + 1);
+for i = 1:n-m+1
+  acc = 0;
+  for k = 1:m
+    acc = acc + x(i + k - 1) * y(k);
+  end
+  r(i) = acc;
+end
+end
+|}
+
+let xcorr ?(n = 512) ?(m = 64) () =
+  let inputs () =
+    [ I.xarray_of_floats (randoms ~seed:61 n);
+      I.xarray_of_floats (randoms ~seed:67 m) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ x; y ] ->
+      let out = Array.make (n - m + 1) 0.0 in
+      for i = 0 to n - m do
+        let acc = ref 0.0 in
+        for k = 0 to m - 1 do
+          acc := !acc +. (x.(i + k) *. y.(k))
+        done;
+        out.(i) <- !acc
+      done;
+      [ I.xarray_of_floats out ]
+    | _ -> invalid_arg "xcorr golden"
+  in
+  { kname = "xcorr";
+    description = Printf.sprintf "cross-correlation, %d samples x %d lags" n m;
+    source = xcorr_source; entry = "xcorr_win";
+    arg_types = [ MT.row_vector MT.Double n; MT.row_vector MT.Double m ];
+    inputs; golden;
+    ops_estimate = 2 * (n - m + 1) * m;
+    matlab_lines = count_lines xcorr_source }
+
+(* ---------- fmdemod ---------- *)
+
+let fmdemod_source =
+  {|function y = fm_demod(ir, ii)
+% Polar-discriminator FM demodulation of complex baseband.
+n = length(ir);
+z = complex(ir, ii);
+y = zeros(1, n);
+y(1) = 0;
+for i = 2:n
+  d = z(i) * conj(z(i - 1));
+  y(i) = atan2(imag(d), real(d));
+end
+end
+|}
+
+let fmdemod ?(n = 1024) () =
+  let inputs () =
+    (* A plausible FM signal: unit-magnitude rotating phasor. *)
+    let phase = randoms ~seed:71 n in
+    let acc = ref 0.0 in
+    let zs =
+      Array.map
+        (fun dp ->
+          acc := !acc +. (dp *. 0.5);
+          { Complex.re = cos !acc; im = sin !acc })
+        phase
+    in
+    [ I.xarray_of_floats (Array.map (fun z -> z.Complex.re) zs);
+      I.xarray_of_floats (Array.map (fun z -> z.Complex.im) zs) ]
+  in
+  let golden args =
+    match List.map floats_of args with
+    | [ ir; ii ] ->
+      let out = Array.make n 0.0 in
+      for i = 1 to n - 1 do
+        let z = { Complex.re = ir.(i); im = ii.(i) } in
+        let zp = { Complex.re = ir.(i - 1); im = -.ii.(i - 1) } in
+        let d = Complex.mul z zp in
+        out.(i) <- atan2 d.Complex.im d.Complex.re
+      done;
+      [ I.xarray_of_floats out ]
+    | _ -> invalid_arg "fmdemod golden"
+  in
+  { kname = "fmdemod";
+    description = Printf.sprintf "FM demodulator, %d complex samples" n;
+    source = fmdemod_source; entry = "fm_demod";
+    arg_types = [ MT.row_vector MT.Double n; MT.row_vector MT.Double n ];
+    inputs; golden;
+    ops_estimate = 10 * n;
+    matlab_lines = count_lines fmdemod_source }
+
+let all () =
+  [ fir (); iir (); fft (); matmul (); xcorr (); fmdemod () ]
+
+let by_name name =
+  List.find_opt (fun k -> String.equal k.kname name) (all ())

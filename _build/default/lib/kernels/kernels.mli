@@ -1,0 +1,54 @@
+(** The six DSP benchmark kernels of the evaluation.
+
+    The paper evaluates on six DSP benchmarks (names not given in the
+    available text); these are the canonical DATE-era DSP kernels
+    covering both ISE classes the abstract names — data-parallel loops
+    (SIMD) and complex arithmetic:
+
+    - [fir]: FIR filter, windowed multiply-accumulate (pre-reversed
+      coefficients, as DSP code ships them);
+    - [iir]: cascaded biquad IIR sections (loop-carried recurrence —
+      deliberately hard to vectorize);
+    - [fft]: iterative radix-2 complex FFT with bit-reversal;
+    - [matmul]: dense matrix multiply in saxpy (ikj) order;
+    - [xcorr]: sliding cross-correlation;
+    - [fmdemod]: FM demodulator on complex baseband input.
+
+    Each kernel packages its MATLAB source, entry specification, a
+    deterministic input generator, a golden OCaml reference
+    implementation, and a rough arithmetic-operation count for the
+    benchmark-characteristics table. *)
+
+module I = Masc_vm.Interp
+
+type kernel = {
+  kname : string;
+  description : string;
+  source : string;
+  entry : string;
+  arg_types : Masc_sema.Mtype.t list;
+  inputs : unit -> I.xvalue list;
+  golden : I.xvalue list -> I.xvalue list;
+  ops_estimate : int;  (** approximate arithmetic operations per run *)
+  matlab_lines : int;  (** lines of MATLAB source *)
+}
+
+(** Size-parameterized constructors (used by the width-sweep and
+    scaling benchmarks). Sizes must keep the static-shape discipline:
+    they fix the entry argument shapes. *)
+val fir : ?n:int -> ?m:int -> unit -> kernel
+
+val iir : ?n:int -> ?sections:int -> unit -> kernel
+val fft : ?n:int -> unit -> kernel
+val matmul : ?n:int -> unit -> kernel
+val xcorr : ?n:int -> ?m:int -> unit -> kernel
+val fmdemod : ?n:int -> unit -> kernel
+
+(** The default suite, paper-scale sizes. *)
+val all : unit -> kernel list
+
+val by_name : string -> kernel option
+
+(** Deterministic pseudo-random stream in [-1, 1] (LCG; reproducible
+    across runs, no dependence on wall-clock). *)
+val randoms : seed:int -> int -> float array

@@ -1,0 +1,1 @@
+lib/mir/affine.ml: Float Hashtbl List Mir

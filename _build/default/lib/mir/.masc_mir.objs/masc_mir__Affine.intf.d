@@ -1,0 +1,1 @@
+lib/mir/affine.mli: Hashtbl Mir

@@ -1,0 +1,1 @@
+lib/mir/lower.ml: Array Ast Complex Diag Float Hashtbl List Loc Masc_frontend Masc_sema Mir Option Printf String

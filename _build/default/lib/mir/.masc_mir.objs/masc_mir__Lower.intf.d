@@ -1,0 +1,1 @@
+lib/mir/lower.mli: Masc_sema Mir

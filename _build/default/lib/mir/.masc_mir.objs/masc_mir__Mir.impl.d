@@ -1,0 +1,1 @@
+lib/mir/mir.ml: Complex List Masc_sema

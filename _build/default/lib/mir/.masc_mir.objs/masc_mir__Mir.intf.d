@@ -1,0 +1,1 @@
+lib/mir/mir.mli: Complex Masc_sema

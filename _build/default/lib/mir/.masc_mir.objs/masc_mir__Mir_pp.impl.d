@@ -1,0 +1,1 @@
+lib/mir/mir_pp.ml: Complex Format Masc_sema Mir Printf

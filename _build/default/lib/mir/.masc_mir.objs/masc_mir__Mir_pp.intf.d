@@ -1,0 +1,1 @@
+lib/mir/mir_pp.mli: Format Mir

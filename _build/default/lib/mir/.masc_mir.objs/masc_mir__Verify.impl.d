@@ -1,0 +1,1 @@
+lib/mir/verify.ml: Float Hashtbl List Masc_sema Mir Printf

@@ -1,0 +1,77 @@
+
+type t = { coeff : int; terms : (Mir.operand * int) list; const : int }
+
+let of_const n = { coeff = 0; terms = []; const = n }
+
+let add_term op k terms =
+  let rec go = function
+    | [] -> if k = 0 then [] else [ (op, k) ]
+    | (o, k0) :: rest when o = op ->
+      if k0 + k = 0 then rest else (o, k0 + k) :: rest
+    | hd :: rest -> hd :: go rest
+  in
+  go terms
+
+let combine sign a b =
+  { coeff = a.coeff + (sign * b.coeff);
+    terms =
+      List.fold_left
+        (fun acc (op, k) -> add_term op (sign * k) acc)
+        a.terms b.terms;
+    const = a.const + (sign * b.const) }
+
+let scale k a =
+  { coeff = k * a.coeff;
+    terms = List.map (fun (op, c) -> (op, k * c)) a.terms;
+    const = k * a.const }
+
+let invariant a = a.coeff = 0
+
+let analyze ~(ivar : Mir.var) ~(defs : (int, Mir.rvalue) Hashtbl.t)
+    (op : Mir.operand) : t option =
+  let rec go depth (op : Mir.operand) : t option =
+    if depth > 32 then None
+    else
+      match op with
+      | Mir.Oconst (Mir.Ci n) -> Some (of_const n)
+      | Mir.Oconst (Mir.Cf f) when Float.is_integer f ->
+        Some (of_const (int_of_float f))
+      | Mir.Oconst _ -> None
+      | Mir.Ovar v when v.Mir.vid = ivar.Mir.vid ->
+        Some { coeff = 1; terms = []; const = 0 }
+      | Mir.Ovar v -> (
+        match Hashtbl.find_opt defs v.Mir.vid with
+        | None ->
+          (* Defined outside the loop: loop-invariant symbol. *)
+          Some { coeff = 0; terms = [ (op, 1) ]; const = 0 }
+        | Some rv -> go_rvalue depth rv)
+  and go_rvalue depth (rv : Mir.rvalue) : t option =
+    match rv with
+    | Mir.Rmove op -> go (depth + 1) op
+    | Mir.Rbin (Mir.Badd, a, b) -> (
+      match (go (depth + 1) a, go (depth + 1) b) with
+      | Some x, Some y -> Some (combine 1 x y)
+      | _ -> None)
+    | Mir.Rbin (Mir.Bsub, a, b) -> (
+      match (go (depth + 1) a, go (depth + 1) b) with
+      | Some x, Some y -> Some (combine (-1) x y)
+      | _ -> None)
+    | Mir.Rbin (Mir.Bmul, a, b) -> (
+      match (go (depth + 1) a, go (depth + 1) b) with
+      | Some x, Some y -> (
+        match (x, y) with
+        | { coeff = 0; terms = []; const = k }, y -> Some (scale k y)
+        | x, { coeff = 0; terms = []; const = k } -> Some (scale k x)
+        | _ -> None)
+      | _ -> None)
+    | Mir.Rbin
+        ( ( Mir.Bdiv | Mir.Bidiv | Mir.Bmod | Mir.Bpow | Mir.Bmin | Mir.Bmax
+          | Mir.Blt | Mir.Ble | Mir.Bgt | Mir.Bge | Mir.Beq | Mir.Bne
+          | Mir.Band | Mir.Bor ),
+          _,
+          _ )
+    | Mir.Runop _ | Mir.Rmath _ | Mir.Rcomplex _ | Mir.Rload _ | Mir.Rvload _
+    | Mir.Rvbroadcast _ | Mir.Rvreduce _ | Mir.Rintrin _ ->
+      None
+  in
+  go 0 op

@@ -1,0 +1,22 @@
+(** Affine analysis of index operands inside loop bodies.
+
+    Determines whether an operand is an affine function
+    [coeff * ivar + (invariant terms) + const] of the loop induction
+    variable by expanding the chains of integer definitions in the body.
+    The stride of an array access across iterations is [coeff * step]. *)
+
+type t = {
+  coeff : int;  (** multiplier of the induction variable *)
+  terms : (Mir.operand * int) list;  (** loop-invariant addends *)
+  const : int;
+}
+
+(** [analyze ~ivar ~defs op] where [defs] maps variable ids to the
+    rvalue of their unique top-level definition in the loop body.
+    Returns [None] when the operand is not affine in [ivar] (e.g. it
+    depends on a load or a non-linear operation). *)
+val analyze :
+  ivar:Mir.var -> defs:(int, Mir.rvalue) Hashtbl.t -> Mir.operand -> t option
+
+(** [invariant a] holds when the induction variable does not occur. *)
+val invariant : t -> bool

@@ -1,0 +1,12 @@
+(** Lowering from the typed AST to MIR.
+
+    This is the scalarization stage of the compiler: array expressions
+    become canonical loop nests over flat column-major arrays (MATLAB's
+    layout), 1-based indices become 0-based linear indices, and every
+    user-function call is inlined (the interprocedural step of the
+    paper's flow). The loops produced here are the raw material for the
+    vectorizer. *)
+
+(** [lower_program p] lowers the entry instance of an inferred program,
+    inlining all calls, and returns a single MIR function. *)
+val lower_program : Masc_sema.Tast.program -> Mir.func

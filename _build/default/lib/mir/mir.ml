@@ -1,0 +1,138 @@
+type scalar_ty = {
+  base : Masc_sema.Mtype.base;
+  cplx : Masc_sema.Mtype.cplx;
+  lanes : int;
+}
+
+type ty = Tscalar of scalar_ty | Tarray of scalar_ty * int
+type var = { vname : string; vid : int; vty : ty }
+type const = Cf of float | Ci of int | Cb of bool | Cc of Complex.t
+type operand = Ovar of var | Oconst of const
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Bidiv  (* integer division, used by index arithmetic *)
+  | Bpow
+  | Bmin
+  | Bmax
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Beq
+  | Bne
+  | Band
+  | Bor
+
+type unop = Uneg | Unot | Uabs | Ure | Uim | Uconj
+type vreduce = Vsum | Vprod | Vmin | Vmax
+
+type rvalue =
+  | Rbin of binop * operand * operand
+  | Runop of unop * operand
+  | Rmath of string * operand list
+  | Rcomplex of operand * operand
+  | Rload of var * operand
+  | Rmove of operand
+  | Rvload of var * operand * int
+  | Rvbroadcast of operand * int
+  | Rvreduce of vreduce * operand
+  | Rintrin of string * operand list
+
+type instr =
+  | Idef of var * rvalue
+  | Istore of var * operand * operand
+  | Ivstore of var * operand * operand * int
+  | Iif of operand * block * block
+  | Iloop of loop
+  | Iwhile of { cond_block : block; cond : operand; body : block }
+  | Ibreak
+  | Icontinue
+  | Ireturn
+  | Iprint of string option * operand list
+  | Icomment of string
+
+and loop = { ivar : var; lo : operand; step : operand; hi : operand; body : block }
+and block = instr list
+
+type func = {
+  name : string;
+  params : var list;
+  rets : var list;
+  vars : var list;
+  body : block;
+}
+
+let scalar_of_mtype (t : Masc_sema.Mtype.t) =
+  { base = t.Masc_sema.Mtype.base; cplx = t.Masc_sema.Mtype.cplx; lanes = 1 }
+
+let ty_of_mtype (t : Masc_sema.Mtype.t) =
+  if Masc_sema.Mtype.is_scalar t then Tscalar (scalar_of_mtype t)
+  else Tarray (scalar_of_mtype t, Masc_sema.Mtype.numel t)
+
+let int_sty = { base = Masc_sema.Mtype.Int; cplx = Masc_sema.Mtype.Real; lanes = 1 }
+
+let double_sty =
+  { base = Masc_sema.Mtype.Double; cplx = Masc_sema.Mtype.Real; lanes = 1 }
+
+let bool_sty =
+  { base = Masc_sema.Mtype.Bool; cplx = Masc_sema.Mtype.Real; lanes = 1 }
+
+let complex_sty =
+  { base = Masc_sema.Mtype.Double; cplx = Masc_sema.Mtype.Complex; lanes = 1 }
+
+let operand_ty = function
+  | Ovar v -> v.vty
+  | Oconst (Cf _) -> Tscalar double_sty
+  | Oconst (Ci _) -> Tscalar int_sty
+  | Oconst (Cb _) -> Tscalar bool_sty
+  | Oconst (Cc _) -> Tscalar complex_sty
+
+let var_of_operand = function Ovar v -> Some v | Oconst _ -> None
+let is_array v = match v.vty with Tarray _ -> true | Tscalar _ -> false
+let elem_ty v = match v.vty with Tarray (s, _) | Tscalar s -> s
+
+module Builder = struct
+  type t = {
+    fname : string;
+    mutable next_id : int;
+    mutable all_vars : var list;  (* reversed *)
+    mutable stack : instr list list;  (* stack of reversed blocks *)
+  }
+
+  let create fname = { fname; next_id = 0; all_vars = []; stack = [ [] ] }
+
+  let fresh_var b ?(hint = "t") ty =
+    let v = { vname = hint; vid = b.next_id; vty = ty } in
+    b.next_id <- b.next_id + 1;
+    b.all_vars <- v :: b.all_vars;
+    v
+
+  let emit b i =
+    match b.stack with
+    | top :: rest -> b.stack <- (i :: top) :: rest
+    | [] -> assert false
+
+  let nested_with b f =
+    b.stack <- [] :: b.stack;
+    let value = f () in
+    match b.stack with
+    | top :: rest ->
+      b.stack <- rest;
+      (List.rev top, value)
+    | [] -> assert false
+
+  let nested b f = fst (nested_with b f)
+
+  let finish b ~params ~rets =
+    let body =
+      match b.stack with
+      | [ top ] -> List.rev top
+      | _ -> invalid_arg "Builder.finish: unbalanced nesting"
+    in
+    { name = b.fname; params; rets; vars = List.rev b.all_vars; body }
+end

@@ -1,0 +1,131 @@
+(** The mid-level IR: typed, loop-level, scalarized.
+
+    Lowering turns the typed AST's array expressions into canonical loop
+    nests over flat (column-major, 0-based) arrays. All user-function
+    calls are inlined during lowering, so a MIR program is a single
+    function. The vectorizer rewrites innermost loops into vector
+    operations ([lanes > 1]) and ASIP intrinsics ({!Rintrin}); both scalar
+    and vector forms execute on the simulator and are emitted as C. *)
+
+type scalar_ty = {
+  base : Masc_sema.Mtype.base;
+  cplx : Masc_sema.Mtype.cplx;
+  lanes : int;  (** 1 = scalar; [n] = n-lane SIMD register value *)
+}
+
+type ty =
+  | Tscalar of scalar_ty
+  | Tarray of scalar_ty * int  (** element type (lanes = 1) and element count *)
+
+type var = { vname : string; vid : int; vty : ty }
+
+type const =
+  | Cf of float
+  | Ci of int
+  | Cb of bool
+  | Cc of Complex.t
+
+type operand = Ovar of var | Oconst of const
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod  (** remainder *)
+  | Bidiv  (** integer division (index arithmetic); [Bdiv] always yields double *)
+  | Bpow
+  | Bmin
+  | Bmax
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Beq
+  | Bne
+  | Band
+  | Bor
+
+type unop = Uneg | Unot | Uabs | Ure | Uim | Uconj
+
+type vreduce = Vsum | Vprod | Vmin | Vmax
+
+type rvalue =
+  | Rbin of binop * operand * operand
+  | Runop of unop * operand
+  | Rmath of string * operand list  (** scalar math-library call *)
+  | Rcomplex of operand * operand  (** complex from real and imaginary parts *)
+  | Rload of var * operand  (** array element load, 0-based linear index *)
+  | Rmove of operand
+  | Rvload of var * operand * int  (** contiguous vector load: base index, lanes *)
+  | Rvbroadcast of operand * int  (** splat scalar to [lanes] *)
+  | Rvreduce of vreduce * operand  (** horizontal reduction of a vector value *)
+  | Rintrin of string * operand list
+      (** target intrinsic selected by the vectorizer / idiom recognizer *)
+
+type instr =
+  | Idef of var * rvalue
+  | Istore of var * operand * operand  (** array, index, value *)
+  | Ivstore of var * operand * operand * int  (** array, base index, vector value, lanes *)
+  | Iif of operand * block * block
+  | Iloop of loop
+  | Iwhile of { cond_block : block; cond : operand; body : block }
+  | Ibreak
+  | Icontinue
+  | Ireturn
+  | Iprint of string option * operand list
+  | Icomment of string
+
+and loop = {
+  ivar : var;  (** induction variable; counts [lo], [lo+step], ... while <= [hi] (step > 0) *)
+  lo : operand;
+  step : operand;
+  hi : operand;
+  body : block;
+}
+
+and block = instr list
+
+type func = {
+  name : string;
+  params : var list;
+  rets : var list;
+  vars : var list;  (** every variable, including params and rets *)
+  body : block;
+}
+
+val scalar_of_mtype : Masc_sema.Mtype.t -> scalar_ty
+
+(** [ty_of_mtype t] maps 1x1 types to registers and everything else to
+    flat arrays. *)
+val ty_of_mtype : Masc_sema.Mtype.t -> ty
+
+val int_sty : scalar_ty
+val double_sty : scalar_ty
+val bool_sty : scalar_ty
+val complex_sty : scalar_ty
+
+val operand_ty : operand -> ty
+val var_of_operand : operand -> var option
+val is_array : var -> bool
+
+(** Element scalar type of an array or scalar variable. *)
+val elem_ty : var -> scalar_ty
+
+(** Builder for constructing MIR with fresh variables. *)
+module Builder : sig
+  type t
+
+  val create : string -> t
+  val fresh_var : t -> ?hint:string -> ty -> var
+  val emit : t -> instr -> unit
+
+  (** [nested b f] collects the instructions emitted by [f ()] into a
+      separate block (for loop bodies and branches). *)
+  val nested : t -> (unit -> unit) -> block
+
+  (** [nested_with b f] also returns [f ()]'s value. *)
+  val nested_with : t -> (unit -> 'a) -> block * 'a
+
+  val finish : t -> params:var list -> rets:var list -> func
+end

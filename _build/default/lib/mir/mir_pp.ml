@@ -1,0 +1,123 @@
+open Mir
+
+let base_name = function
+  | Masc_sema.Mtype.Bool -> "b"
+  | Masc_sema.Mtype.Int -> "i"
+  | Masc_sema.Mtype.Double -> "f"
+
+let pp_scalar_ty ppf (s : scalar_ty) =
+  let c = match s.cplx with Masc_sema.Mtype.Complex -> "c" | Masc_sema.Mtype.Real -> "" in
+  if s.lanes = 1 then Format.fprintf ppf "%s%s64" c (base_name s.base)
+  else Format.fprintf ppf "%s%s64x%d" c (base_name s.base) s.lanes
+
+let pp_ty ppf = function
+  | Tscalar s -> pp_scalar_ty ppf s
+  | Tarray (s, n) -> Format.fprintf ppf "%a[%d]" pp_scalar_ty s n
+
+let pp_var ppf v = Format.fprintf ppf "%s.%d" v.vname v.vid
+
+let pp_operand ppf = function
+  | Ovar v -> pp_var ppf v
+  | Oconst (Cf f) -> Format.fprintf ppf "%g" f
+  | Oconst (Ci n) -> Format.fprintf ppf "%d" n
+  | Oconst (Cb b) -> Format.fprintf ppf "%b" b
+  | Oconst (Cc z) -> Format.fprintf ppf "(%g%+gi)" z.Complex.re z.Complex.im
+
+let binop_name = function
+  | Badd -> "add"
+  | Bsub -> "sub"
+  | Bmul -> "mul"
+  | Bdiv -> "div"
+  | Bmod -> "mod"
+  | Bidiv -> "idiv"
+  | Bpow -> "pow"
+  | Bmin -> "min"
+  | Bmax -> "max"
+  | Blt -> "lt"
+  | Ble -> "le"
+  | Bgt -> "gt"
+  | Bge -> "ge"
+  | Beq -> "eq"
+  | Bne -> "ne"
+  | Band -> "and"
+  | Bor -> "or"
+
+let unop_name = function
+  | Uneg -> "neg"
+  | Unot -> "not"
+  | Uabs -> "abs"
+  | Ure -> "re"
+  | Uim -> "im"
+  | Uconj -> "conj"
+
+let vreduce_name = function
+  | Vsum -> "sum"
+  | Vprod -> "prod"
+  | Vmin -> "min"
+  | Vmax -> "max"
+
+let pp_operands ppf ops =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_operand ppf ops
+
+let pp_rvalue ppf = function
+  | Rbin (op, a, b) ->
+    Format.fprintf ppf "%s %a, %a" (binop_name op) pp_operand a pp_operand b
+  | Runop (op, a) -> Format.fprintf ppf "%s %a" (unop_name op) pp_operand a
+  | Rmath (name, args) -> Format.fprintf ppf "math.%s %a" name pp_operands args
+  | Rcomplex (re, im) ->
+    Format.fprintf ppf "complex %a, %a" pp_operand re pp_operand im
+  | Rload (arr, idx) -> Format.fprintf ppf "load %a[%a]" pp_var arr pp_operand idx
+  | Rmove a -> Format.fprintf ppf "move %a" pp_operand a
+  | Rvload (arr, base, lanes) ->
+    Format.fprintf ppf "vload.%d %a[%a]" lanes pp_var arr pp_operand base
+  | Rvbroadcast (a, lanes) ->
+    Format.fprintf ppf "vbroadcast.%d %a" lanes pp_operand a
+  | Rvreduce (r, a) ->
+    Format.fprintf ppf "vreduce.%s %a" (vreduce_name r) pp_operand a
+  | Rintrin (name, args) ->
+    Format.fprintf ppf "intrin %s(%a)" name pp_operands args
+
+let rec pp_instr ppf = function
+  | Idef (v, rv) ->
+    Format.fprintf ppf "@[<h>%a : %a = %a@]" pp_var v pp_ty v.vty pp_rvalue rv
+  | Istore (arr, idx, v) ->
+    Format.fprintf ppf "@[<h>store %a[%a] <- %a@]" pp_var arr pp_operand idx
+      pp_operand v
+  | Ivstore (arr, base, v, lanes) ->
+    Format.fprintf ppf "@[<h>vstore.%d %a[%a] <- %a@]" lanes pp_var arr
+      pp_operand base pp_operand v
+  | Iif (c, then_b, else_b) ->
+    Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_operand c pp_block then_b;
+    if else_b <> [] then
+      Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_block else_b
+  | Iloop { ivar; lo; step; hi; body } ->
+    Format.fprintf ppf "@[<v 2>for %a = %a : %a : %a {@,%a@]@,}" pp_var ivar
+      pp_operand lo pp_operand step pp_operand hi pp_block body
+  | Iwhile { cond_block; cond; body } ->
+    Format.fprintf ppf "@[<v 2>while {@,%a@,cond %a =>@,%a@]@,}" pp_block
+      cond_block pp_operand cond pp_block body
+  | Ibreak -> Format.pp_print_string ppf "break"
+  | Icontinue -> Format.pp_print_string ppf "continue"
+  | Ireturn -> Format.pp_print_string ppf "return"
+  | Iprint (fmt, ops) ->
+    Format.fprintf ppf "print %s(%a)"
+      (match fmt with Some f -> Printf.sprintf "%S" f | None -> "")
+      pp_operands ops
+  | Icomment s -> Format.fprintf ppf "; %s" s
+
+and pp_block ppf block =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr ppf block
+
+let pp_func ppf (f : func) =
+  let pp_vars ppf vars =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf v -> Format.fprintf ppf "%a : %a" pp_var v pp_ty v.vty)
+      ppf vars
+  in
+  Format.fprintf ppf "@[<v 2>func %s(%a) -> (%a) {@,%a@]@,}" f.name pp_vars
+    f.params pp_vars f.rets pp_block f.body
+
+let func_to_string f = Format.asprintf "%a@." pp_func f

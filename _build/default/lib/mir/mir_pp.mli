@@ -1,0 +1,11 @@
+(** Human-readable MIR dumps (used by [--dump-stages] and tests). *)
+
+val pp_scalar_ty : Format.formatter -> Mir.scalar_ty -> unit
+val pp_ty : Format.formatter -> Mir.ty -> unit
+val pp_var : Format.formatter -> Mir.var -> unit
+val pp_operand : Format.formatter -> Mir.operand -> unit
+val pp_rvalue : Format.formatter -> Mir.rvalue -> unit
+val pp_instr : Format.formatter -> Mir.instr -> unit
+val pp_block : Format.formatter -> Mir.block -> unit
+val pp_func : Format.formatter -> Mir.func -> unit
+val func_to_string : Mir.func -> string

@@ -1,0 +1,132 @@
+module MT = Masc_sema.Mtype
+open Mir
+
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let check (func : func) =
+  let declared = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace declared v.vid v) func.vars;
+  let check_declared (v : var) =
+    match Hashtbl.find_opt declared v.vid with
+    | Some v' when v' == v || v' = v -> ()
+    | Some _ -> fail "variable %s.%d conflicts with another declaration" v.vname v.vid
+    | None -> fail "variable %s.%d is not declared in the function" v.vname v.vid
+  in
+  let scalar_operand what (op : operand) =
+    match op with
+    | Ovar v ->
+      check_declared v;
+      if is_array v then
+        fail "%s: array variable %s.%d used as a scalar operand" what v.vname
+          v.vid
+    | Oconst _ -> ()
+  in
+  let index_operand what (op : operand) =
+    scalar_operand what op;
+    match op with
+    | Ovar v -> (
+      match elem_ty v with
+      | { cplx = MT.Complex; _ } -> fail "%s: complex index" what
+      | _ -> ())
+    | Oconst (Ci _) -> ()
+    | Oconst (Cf f) when Float.is_integer f -> ()
+    | Oconst _ -> fail "%s: non-integral constant index" what
+  in
+  let array_operand what (v : var) =
+    check_declared v;
+    if not (is_array v) then
+      fail "%s: scalar variable %s.%d used as an array" what v.vname v.vid
+  in
+  let lanes_of (op : operand) =
+    match operand_ty op with Tscalar s -> s.lanes | Tarray _ -> 1
+  in
+  let check_rvalue (target : var) (rv : rvalue) =
+    let what = Printf.sprintf "def of %s.%d" target.vname target.vid in
+    match rv with
+    | Rbin (_, a, b) ->
+      scalar_operand what a;
+      scalar_operand what b;
+      let la = lanes_of a and lb = lanes_of b in
+      if la <> lb && la <> 1 && lb <> 1 then
+        fail "%s: mixed vector widths %d and %d" what la lb
+    | Runop (_, a) -> scalar_operand what a
+    | Rmath (_, args) -> List.iter (scalar_operand what) args
+    | Rcomplex (a, b) ->
+      scalar_operand what a;
+      scalar_operand what b
+    | Rload (arr, idx) ->
+      array_operand what arr;
+      index_operand what idx
+    | Rmove a -> scalar_operand what a
+    | Rvload (arr, base, lanes) ->
+      array_operand what arr;
+      index_operand what base;
+      if lanes < 2 then fail "%s: vector load with %d lanes" what lanes;
+      if (elem_ty target).lanes <> lanes then
+        fail "%s: vector load lanes %d but target has %d" what lanes
+          (elem_ty target).lanes
+    | Rvbroadcast (a, lanes) ->
+      scalar_operand what a;
+      if lanes < 2 then fail "%s: broadcast with %d lanes" what lanes
+    | Rvreduce (_, a) ->
+      scalar_operand what a;
+      if lanes_of a < 2 then fail "%s: reduce of a scalar" what
+    | Rintrin (_, args) -> List.iter (scalar_operand what) args
+  in
+  let rec check_block ~in_loop (b : block) =
+    List.iter
+      (fun (i : instr) ->
+        match i with
+        | Idef (v, rv) ->
+          check_declared v;
+          if is_array v then
+            fail "def target %s.%d is an array variable" v.vname v.vid;
+          check_rvalue v rv
+        | Istore (arr, idx, x) ->
+          array_operand "store" arr;
+          index_operand "store" idx;
+          scalar_operand "store" x
+        | Ivstore (arr, base, x, lanes) ->
+          array_operand "vstore" arr;
+          index_operand "vstore" base;
+          scalar_operand "vstore" x;
+          if lanes_of x <> lanes then
+            fail "vstore: value lanes %d but store lanes %d" (lanes_of x) lanes
+        | Iif (c, t, e) ->
+          scalar_operand "if condition" c;
+          check_block ~in_loop t;
+          check_block ~in_loop e
+        | Iloop l ->
+          check_declared l.ivar;
+          if is_array l.ivar then fail "loop variable is an array";
+          (* Bounds may be double-typed (e.g. for t = 0:0.1:1). *)
+          scalar_operand "loop bound" l.lo;
+          scalar_operand "loop bound" l.hi;
+          scalar_operand "loop step" l.step;
+          check_block ~in_loop:true l.body
+        | Iwhile { cond_block; cond; body } ->
+          check_block ~in_loop cond_block;
+          scalar_operand "while condition" cond;
+          check_block ~in_loop:true body
+        | Ibreak -> if not in_loop then fail "break outside of a loop"
+        | Icontinue -> if not in_loop then fail "continue outside of a loop"
+        | Ireturn -> ()
+        | Iprint (_, ops) ->
+          List.iter
+            (fun op ->
+              match op with
+              | Ovar v -> check_declared v
+              | Oconst _ -> ())
+            ops
+        | Icomment _ -> ())
+      b
+  in
+  List.iter check_declared func.params;
+  List.iter check_declared func.rets;
+  try check_block ~in_loop:false func.body
+  with Violation msg -> failwith (Printf.sprintf "MIR verify (%s): %s" func.name msg)
+
+let check_result f =
+  match check f with () -> Ok () | exception Failure msg -> Error msg

@@ -1,0 +1,17 @@
+(** MIR well-formedness checker.
+
+    Catches compiler bugs early: every pass output can be checked. Rules:
+    - operands reference variables declared in the function;
+    - array variables appear only as load/store bases, scalars only as
+      register operands;
+    - load/store indices are scalar (Int, Bool or integral Double);
+    - vector operations have consistent lane counts;
+    - [break]/[continue] appear only inside loops;
+    - induction variables are scalar.
+
+    Raises [Failure] with a description of the first violation. *)
+
+val check : Mir.func -> unit
+
+(** [check_result f] returns the violation message instead of raising. *)
+val check_result : Mir.func -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/opt/collapse.mli: Masc_mir

@@ -1,0 +1,1 @@
+lib/opt/const_fold.ml: Complex Masc_mir Masc_vm Rewrite

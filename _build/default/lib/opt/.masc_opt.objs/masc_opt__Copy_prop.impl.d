@@ -1,0 +1,1 @@
+lib/opt/copy_prop.ml: Hashtbl List Masc_mir Rewrite

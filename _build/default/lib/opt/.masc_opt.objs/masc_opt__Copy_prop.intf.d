@@ -1,0 +1,1 @@
+lib/opt/copy_prop.mli: Masc_mir

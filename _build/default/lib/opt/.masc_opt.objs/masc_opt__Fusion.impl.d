@@ -1,0 +1,1 @@
+lib/opt/fusion.ml: Hashtbl List Masc_mir Masc_sema Rewrite

@@ -1,0 +1,1 @@
+lib/opt/fusion.mli: Masc_mir

@@ -1,0 +1,1 @@
+lib/opt/global_const.ml: Hashtbl List Masc_mir Option Rewrite

@@ -1,0 +1,1 @@
+lib/opt/global_const.mli: Masc_mir

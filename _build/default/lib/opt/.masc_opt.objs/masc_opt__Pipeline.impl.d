@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Collapse Const_fold Copy_prop Cse Dce Fusion Global_const Licm List

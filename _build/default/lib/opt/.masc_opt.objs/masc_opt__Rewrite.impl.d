@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Hashtbl List Masc_mir Option

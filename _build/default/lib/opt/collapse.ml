@@ -1,0 +1,25 @@
+module Mir = Masc_mir.Mir
+
+let run (func : Mir.func) : Mir.func =
+  let uses = Rewrite.use_counts func in
+  let ret_ids = List.map (fun (r : Mir.var) -> r.Mir.vid) func.Mir.rets in
+  let process (block : Mir.block) : Mir.block =
+    let rec go = function
+      | Mir.Idef (t, rv) :: Mir.Idef (x, Mir.Rmove (Mir.Ovar t')) :: rest
+        when t'.Mir.vid = t.Mir.vid
+             && Hashtbl.find_opt uses t.Mir.vid = Some 1
+             && (not (List.mem t.Mir.vid ret_ids))
+             && t.Mir.vty = x.Mir.vty
+             && x.Mir.vid <> t.Mir.vid
+             (* [rv] must not read [x]: the def of [x] would clobber an
+                operand — except the self-accumulation form x = op(x, ...)
+                which is exactly what we want to expose and is safe
+                because the read happens in the same evaluation. *)
+      ->
+        Mir.Idef (x, rv) :: go rest
+      | i :: rest -> i :: go rest
+      | [] -> []
+    in
+    go block
+  in
+  Rewrite.map_blocks process func

@@ -1,0 +1,9 @@
+(** Move-collapsing peephole.
+
+    Lowering produces [t = <rv>; x = move t] pairs for every assignment.
+    When [t] is used exactly once (by that move), is not returned, and
+    has the same scalar type as [x], the pair collapses to [x = <rv>].
+    This exposes accumulator patterns ([acc = acc + ...]) to the
+    vectorizer and removes noise from the generated C. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

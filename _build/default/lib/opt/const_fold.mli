@@ -1,0 +1,7 @@
+(** Constant folding and algebraic simplification of rvalues.
+
+    Evaluation reuses the simulator's scalar semantics ({!Masc_vm.Value}),
+    so folding can never disagree with execution — the property test in
+    the suite checks exactly this. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

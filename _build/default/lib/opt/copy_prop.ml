@@ -1,0 +1,78 @@
+module Mir = Masc_mir.Mir
+
+let run (func : Mir.func) : Mir.func =
+  let process_segment (block : Mir.block) : Mir.block =
+    let map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+    let subst (op : Mir.operand) =
+      match op with
+      | Mir.Ovar v -> (
+        match Hashtbl.find_opt map v.Mir.vid with Some o -> o | None -> op)
+      | Mir.Oconst _ -> op
+    in
+    let kill vid =
+      Hashtbl.remove map vid;
+      let stale =
+        Hashtbl.fold
+          (fun k op acc ->
+            match op with
+            | Mir.Ovar v when v.Mir.vid = vid -> k :: acc
+            | _ -> acc)
+          map []
+      in
+      List.iter (Hashtbl.remove map) stale
+    in
+    let subst_rvalue rv =
+      match rv with
+      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
+      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
+      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
+      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
+      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
+      | Mir.Rmove a -> Mir.Rmove (subst a)
+      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
+      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
+      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
+      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
+    in
+    List.map
+      (fun (instr : Mir.instr) ->
+        match instr with
+        | Mir.Idef (v, rv) ->
+          let rv = subst_rvalue rv in
+          kill v.Mir.vid;
+          (* Only same-scalar-type moves are transparent: a move can also
+             coerce (e.g. double literal into an int register). *)
+          (match rv with
+          | Mir.Rmove (Mir.Oconst _ as op)
+            when Mir.operand_ty op = v.Mir.vty ->
+            Hashtbl.replace map v.Mir.vid op
+          | Mir.Rmove (Mir.Ovar src as op)
+            when src.Mir.vty = v.Mir.vty && not (Mir.is_array src) ->
+            Hashtbl.replace map v.Mir.vid op
+          | _ -> ());
+          Mir.Idef (v, rv)
+        | Mir.Istore (arr, idx, x) -> Mir.Istore (arr, subst idx, subst x)
+        | Mir.Ivstore (arr, base, x, l) ->
+          Mir.Ivstore (arr, subst base, subst x, l)
+        | Mir.Iif (c, t, e) ->
+          let result = Mir.Iif (subst c, t, e) in
+          Hashtbl.reset map;
+          result
+        | Mir.Iloop l ->
+          let result =
+            Mir.Iloop
+              { l with
+                Mir.lo = subst l.Mir.lo;
+                step = subst l.Mir.step;
+                hi = subst l.Mir.hi }
+          in
+          Hashtbl.reset map;
+          result
+        | Mir.Iwhile _ ->
+          Hashtbl.reset map;
+          instr
+        | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
+        | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
+      block
+  in
+  Rewrite.map_blocks process_segment func

@@ -1,0 +1,8 @@
+(** Local copy and constant propagation.
+
+    Within each straight-line segment (no propagation across control-flow
+    boundaries — MIR registers are mutable), uses of a variable defined by
+    [Rmove] are replaced by the moved operand. A binding dies when either
+    side is redefined. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

@@ -1,0 +1,131 @@
+module Mir = Masc_mir.Mir
+
+let run (func : Mir.func) : Mir.func =
+  let process (block : Mir.block) : Mir.block =
+    (* available: rvalue -> variable holding its value; subst: variables
+       replaced by an earlier equivalent, applied to later operands so
+       chained expressions keep matching. *)
+    let available : (Mir.rvalue, Mir.var) Hashtbl.t = Hashtbl.create 16 in
+    (* last store per array: enables store-to-load forwarding *)
+    let store_avail : (int, Mir.operand * Mir.operand) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let subst_map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+    let subst (op : Mir.operand) =
+      match op with
+      | Mir.Ovar v -> (
+        match Hashtbl.find_opt subst_map v.Mir.vid with
+        | Some o -> o
+        | None -> op)
+      | Mir.Oconst _ -> op
+    in
+    let subst_rvalue rv =
+      match rv with
+      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
+      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
+      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
+      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
+      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
+      | Mir.Rmove a -> Mir.Rmove (subst a)
+      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
+      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
+      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
+      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
+    in
+    let mentions vid (rv : Mir.rvalue) =
+      List.exists
+        (function
+          | Mir.Ovar v -> v.Mir.vid = vid
+          | Mir.Oconst _ -> false)
+        (Rewrite.operands_of_rvalue rv)
+    in
+    let kill vid =
+      let stale =
+        Hashtbl.fold
+          (fun rv v acc ->
+            if v.Mir.vid = vid || mentions vid rv then rv :: acc else acc)
+          available []
+      in
+      List.iter (Hashtbl.remove available) stale;
+      let stale_stores =
+        Hashtbl.fold
+          (fun arr (idx, x) acc ->
+            let uses_vid = function
+              | Mir.Ovar v -> v.Mir.vid = vid
+              | Mir.Oconst _ -> false
+            in
+            if uses_vid idx || uses_vid x then arr :: acc else acc)
+          store_avail []
+      in
+      List.iter (Hashtbl.remove store_avail) stale_stores;
+      Hashtbl.remove subst_map vid;
+      let stale_subst =
+        Hashtbl.fold
+          (fun k op acc ->
+            match op with
+            | Mir.Ovar v when v.Mir.vid = vid -> k :: acc
+            | _ -> acc)
+          subst_map []
+      in
+      List.iter (Hashtbl.remove subst_map) stale_subst
+    in
+    let kill_loads () =
+      let stale =
+        Hashtbl.fold
+          (fun rv _ acc ->
+            match rv with
+            | Mir.Rload _ | Mir.Rvload _ -> rv :: acc
+            | _ -> acc)
+          available []
+      in
+      List.iter (Hashtbl.remove available) stale
+    in
+    let cacheable = function
+      | Mir.Rbin _ | Mir.Runop _ | Mir.Rmath _ | Mir.Rcomplex _
+      | Mir.Rload _ | Mir.Rvload _ | Mir.Rvbroadcast _ | Mir.Rvreduce _ ->
+        true
+      | Mir.Rmove _ | Mir.Rintrin _ -> false
+    in
+    List.map
+      (fun (instr : Mir.instr) ->
+        match instr with
+        | Mir.Idef (v, rv) -> (
+          let rv = subst_rvalue rv in
+          (* store-to-load forwarding *)
+          let rv =
+            match rv with
+            | Mir.Rload (arr, idx) -> (
+              match Hashtbl.find_opt store_avail arr.Mir.vid with
+              | Some (sidx, x) when sidx = idx -> Mir.Rmove x
+              | _ -> rv)
+            | _ -> rv
+          in
+          match Hashtbl.find_opt available rv with
+          | Some prior
+            when prior.Mir.vid <> v.Mir.vid && prior.Mir.vty = v.Mir.vty ->
+            kill v.Mir.vid;
+            Hashtbl.replace subst_map v.Mir.vid (Mir.Ovar prior);
+            Mir.Idef (v, Mir.Rmove (Mir.Ovar prior))
+          | _ ->
+            kill v.Mir.vid;
+            if cacheable rv then Hashtbl.replace available rv v;
+            Mir.Idef (v, rv))
+        | Mir.Istore (arr, idx, x) ->
+          kill_loads ();
+          let idx = subst idx and x = subst x in
+          Hashtbl.replace store_avail arr.Mir.vid (idx, x);
+          Mir.Istore (arr, idx, x)
+        | Mir.Ivstore (arr, base, x, l) ->
+          kill_loads ();
+          Hashtbl.remove store_avail arr.Mir.vid;
+          Mir.Ivstore (arr, subst base, subst x, l)
+        | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ ->
+          Hashtbl.reset available;
+          Hashtbl.reset subst_map;
+          Hashtbl.reset store_avail;
+          instr
+        | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
+        | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
+      block
+  in
+  Rewrite.map_blocks process func

@@ -1,0 +1,8 @@
+(** Local common-subexpression elimination.
+
+    Within a straight-line segment, a pure rvalue computed twice with the
+    same operands reuses the first result. Array loads participate too,
+    with conservative invalidation at any store or control-flow
+    boundary. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

@@ -1,0 +1,105 @@
+module Mir = Masc_mir.Mir
+
+(* Read counts: like Rewrite.use_counts but the target array of a store
+   does not count as a read, so write-only arrays can be eliminated. *)
+let read_counts (func : Mir.func) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let bump = function
+    | Mir.Ovar v ->
+      Hashtbl.replace tbl v.Mir.vid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Mir.vid))
+    | Mir.Oconst _ -> ()
+  in
+  Rewrite.iter_instrs
+    (function
+      | Mir.Idef (_, rv) -> List.iter bump (Rewrite.operands_of_rvalue rv)
+      | Mir.Istore (_, idx, v) ->
+        bump idx;
+        bump v
+      | Mir.Ivstore (_, base, v, _) ->
+        bump base;
+        bump v
+      | Mir.Iif (c, _, _) -> bump c
+      | Mir.Iloop l ->
+        bump l.Mir.lo;
+        bump l.Mir.step;
+        bump l.Mir.hi
+      | Mir.Iwhile { cond; _ } -> bump cond
+      | Mir.Iprint (_, ops) -> List.iter bump ops
+      | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> ())
+    func;
+  List.iter (fun (r : Mir.var) -> bump (Mir.Ovar r)) func.Mir.rets;
+  tbl
+
+let rec block_has_effects (b : Mir.block) =
+  List.exists
+    (fun (i : Mir.instr) ->
+      match i with
+      | Mir.Istore _ | Mir.Ivstore _ | Mir.Iprint _ | Mir.Ibreak
+      | Mir.Icontinue | Mir.Ireturn | Mir.Idef _ ->
+        true
+      | Mir.Icomment _ -> false
+      | Mir.Iif (_, t, e) -> block_has_effects t || block_has_effects e
+      | Mir.Iloop l -> block_has_effects l.Mir.body
+      | Mir.Iwhile _ -> true)
+    b
+
+let one_round (func : Mir.func) : Mir.func * bool =
+  let reads = read_counts func in
+  let read vid = Hashtbl.mem reads vid in
+  let changed = ref false in
+  let ret_ids =
+    List.map (fun (r : Mir.var) -> r.Mir.vid) func.Mir.rets
+  in
+  let keep_array (arr : Mir.var) =
+    read arr.Mir.vid || List.mem arr.Mir.vid ret_ids
+  in
+  let prune (block : Mir.block) : Mir.block =
+    List.filter_map
+      (fun (instr : Mir.instr) ->
+        match instr with
+        | Mir.Idef (v, rv) ->
+          (* Loads are removable when dead: lowered programs only emit
+             in-bounds accesses, so dropping one cannot hide a fault. *)
+          let removable =
+            Rewrite.pure rv
+            || match rv with Mir.Rload _ | Mir.Rvload _ -> true | _ -> false
+          in
+          if (not (read v.Mir.vid)) && removable
+             && not (List.mem v.Mir.vid ret_ids)
+          then begin
+            changed := true;
+            None
+          end
+          else Some instr
+        | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
+          if keep_array arr then Some instr
+          else begin
+            changed := true;
+            None
+          end
+        | Mir.Iloop l ->
+          if block_has_effects l.Mir.body then Some instr
+          else begin
+            changed := true;
+            None
+          end
+        | Mir.Iif (_, t, e) ->
+          if block_has_effects t || block_has_effects e then Some instr
+          else begin
+            changed := true;
+            None
+          end
+        | Mir.Icomment _ | Mir.Iwhile _ | Mir.Ibreak | Mir.Icontinue
+        | Mir.Ireturn | Mir.Iprint _ ->
+          Some instr)
+      block
+  in
+  (Rewrite.map_blocks prune func, !changed)
+
+let run func =
+  let rec fix func n =
+    let func', changed = one_round func in
+    if changed && n < 20 then fix func' (n + 1) else func'
+  in
+  fix func 0

@@ -1,0 +1,7 @@
+(** Dead-code elimination.
+
+    Removes pure definitions of never-read variables, stores to arrays
+    that are never read and not returned, and control structures whose
+    bodies become empty. Runs to fixpoint. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

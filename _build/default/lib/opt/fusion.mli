@@ -1,0 +1,19 @@
+(** Loop fusion.
+
+    Adjacent counted loops with identical bounds are merged when the
+    second loop's reads of arrays written by the first happen at exactly
+    the store's index (the producer/consumer pattern scalarization
+    creates through temporaries). Fusing halves loop overhead, lets DCE
+    dissolve temporary arrays, and gives the vectorizer larger bodies.
+
+    Legality (conservative):
+    - both loops have the form [for i = lo : step : hi] with equal
+      operands, integer induction variables, and straight-line bodies;
+    - for every array stored by loop 1 and accessed by loop 2: loop 1
+      stores it exactly once at an affine index, and every loop-2 access
+      is a load at the same affine function of the induction variable;
+    - loop 2 stores no array that loop 1 accesses, and neither loop
+      defines a scalar the other reads (beyond the induction variable,
+      which is renamed). *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

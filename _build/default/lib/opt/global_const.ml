@@ -1,0 +1,74 @@
+module Mir = Masc_mir.Mir
+
+let run (func : Mir.func) : Mir.func =
+  (* Count all definitions (anywhere) per variable. *)
+  let def_counts = Hashtbl.create 32 in
+  let bump vid =
+    Hashtbl.replace def_counts vid
+      (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts vid))
+  in
+  Rewrite.iter_instrs
+    (function
+      | Mir.Idef (v, _) -> bump v.Mir.vid
+      | Mir.Iloop l -> bump l.Mir.ivar.Mir.vid
+      | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _ | Mir.Ibreak
+      | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+        ())
+    func;
+  (* Top-level single-def constants. *)
+  let consts : (int, Mir.const) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Mir.instr) ->
+      match i with
+      | Mir.Idef (v, Mir.Rmove (Mir.Oconst c))
+        when Hashtbl.find_opt def_counts v.Mir.vid = Some 1
+             && v.Mir.vty = Mir.operand_ty (Mir.Oconst c) ->
+        Hashtbl.replace consts v.Mir.vid c
+      | _ -> ())
+    func.Mir.body;
+  if Hashtbl.length consts = 0 then func
+  else begin
+    let subst (op : Mir.operand) =
+      match op with
+      | Mir.Ovar v -> (
+        match Hashtbl.find_opt consts v.Mir.vid with
+        | Some c -> Mir.Oconst c
+        | None -> op)
+      | Mir.Oconst _ -> op
+    in
+    let subst_rvalue rv =
+      match rv with
+      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
+      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
+      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
+      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
+      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
+      | Mir.Rmove a -> Mir.Rmove (subst a)
+      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
+      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
+      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
+      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
+    in
+    let rewrite (block : Mir.block) : Mir.block =
+      List.map
+        (fun (instr : Mir.instr) ->
+          match instr with
+          | Mir.Idef (v, rv) -> Mir.Idef (v, subst_rvalue rv)
+          | Mir.Istore (arr, idx, x) -> Mir.Istore (arr, subst idx, subst x)
+          | Mir.Ivstore (arr, base, x, l) ->
+            Mir.Ivstore (arr, subst base, subst x, l)
+          | Mir.Iif (c, t, e) -> Mir.Iif (subst c, t, e)
+          | Mir.Iloop l ->
+            Mir.Iloop
+              { l with
+                Mir.lo = subst l.Mir.lo;
+                step = subst l.Mir.step;
+                hi = subst l.Mir.hi }
+          | Mir.Iwhile { cond_block; cond; body } ->
+            Mir.Iwhile { cond_block; cond = subst cond; body }
+          | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
+          | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
+        block
+    in
+    Rewrite.map_blocks rewrite func
+  end

@@ -1,0 +1,10 @@
+(** Whole-function constant-register propagation.
+
+    A variable with exactly one definition in the whole function, located
+    at the top level of the body (so it dominates every later use) and of
+    the form [v = move <const>], is replaced by the constant at all of
+    its uses — including loop bounds, which lets the vectorizer compute
+    strip-mining bounds at compile time. Size registers produced by
+    [n = length(x)] are the main beneficiaries. *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

@@ -1,0 +1,94 @@
+module Mir = Masc_mir.Mir
+
+let run (func : Mir.func) : Mir.func =
+  let process (block : Mir.block) : Mir.block =
+    List.concat_map
+      (fun (instr : Mir.instr) ->
+        match instr with
+        | Mir.Iloop l ->
+          let defined = Rewrite.defined_in l.Mir.body in
+          (* The loop's own induction variable is defined by the loop
+             header, not by any body instruction. *)
+          Hashtbl.replace defined l.Mir.ivar.Mir.vid ();
+          let stored = Rewrite.stored_in l.Mir.body in
+          (* Count top-level defs per variable: only single-definition
+             variables can be hoisted safely. *)
+          let def_counts = Hashtbl.create 16 in
+          let bump vid =
+            Hashtbl.replace def_counts vid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts vid))
+          in
+          let rec count_defs block =
+            List.iter
+              (fun i ->
+                match (i : Mir.instr) with
+                | Mir.Idef (v, _) -> bump v.Mir.vid
+                | Mir.Iloop inner ->
+                  bump inner.Mir.ivar.Mir.vid;
+                  count_defs inner.Mir.body
+                | Mir.Iif (_, t, e) ->
+                  count_defs t;
+                  count_defs e
+                | Mir.Iwhile { cond_block; body; _ } ->
+                  count_defs cond_block;
+                  count_defs body
+                | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
+                | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+                  ())
+              block
+          in
+          count_defs l.Mir.body;
+          let nonempty_const_bounds =
+            match (l.Mir.lo, l.Mir.step, l.Mir.hi) with
+            | Mir.Oconst (Mir.Ci lo), Mir.Oconst (Mir.Ci step), Mir.Oconst (Mir.Ci hi)
+              ->
+              (step > 0 && lo <= hi) || (step < 0 && lo >= hi)
+            | _ -> false
+          in
+          let invariant_operand = function
+            | Mir.Ovar v -> not (Hashtbl.mem defined v.Mir.vid)
+            | Mir.Oconst _ -> true
+          in
+          let hoistable (i : Mir.instr) =
+            match i with
+            | Mir.Idef (v, rv) -> (
+              Hashtbl.find_opt def_counts v.Mir.vid = Some 1
+              && List.for_all invariant_operand (Rewrite.operands_of_rvalue rv)
+              &&
+              match rv with
+              | Mir.Rload (arr, _) ->
+                nonempty_const_bounds && not (Hashtbl.mem stored arr.Mir.vid)
+              | Mir.Rvload _ | Mir.Rintrin _ -> false
+              | _ -> Rewrite.pure rv)
+            | _ -> false
+          in
+          (* Hoist iteratively: moving one def can make another hoistable
+             only if we recompute the defined set, so run to fixpoint. *)
+          let rec loop body hoisted_rev =
+            let defined_now = Rewrite.defined_in body in
+            Hashtbl.replace defined_now l.Mir.ivar.Mir.vid ();
+            let invariant_operand = function
+              | Mir.Ovar v -> not (Hashtbl.mem defined_now v.Mir.vid)
+              | Mir.Oconst _ -> true
+            in
+            let hoistable' i =
+              hoistable i
+              &&
+              match i with
+              | Mir.Idef (_, rv) ->
+                List.for_all invariant_operand (Rewrite.operands_of_rvalue rv)
+              | _ -> false
+            in
+            match List.partition hoistable' body with
+            | [], _ -> (List.rev hoisted_rev, body)
+            | hoisted, rest -> loop rest (List.rev_append hoisted hoisted_rev)
+          in
+          let hoisted, body = loop l.Mir.body [] in
+          hoisted @ [ Mir.Iloop { l with Mir.body = body } ]
+        | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _
+        | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _
+        | Mir.Icomment _ ->
+          [ instr ])
+      block
+  in
+  Rewrite.map_blocks process func

@@ -1,0 +1,8 @@
+(** Loop-invariant code motion.
+
+    Hoists pure top-level definitions whose operands are not redefined in
+    the loop body out of [for] loops. Loads are hoisted only from loops
+    with constant, provably non-empty bounds (hoisting a load out of a
+    zero-trip loop could fault). *)
+
+val run : Masc_mir.Mir.func -> Masc_mir.Mir.func

@@ -1,0 +1,20 @@
+type level = O0 | O1 | O2
+
+let level_of_int = function 0 -> O0 | 1 -> O1 | _ -> O2
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+let o1_passes =
+  [ ("const-fold", Const_fold.run); ("copy-prop", Copy_prop.run);
+    ("collapse", Collapse.run); ("global-const", Global_const.run);
+    ("const-fold", Const_fold.run); ("dce", Dce.run) ]
+
+let o2_passes =
+  o1_passes
+  @ [ ("cse", Cse.run); ("licm", Licm.run); ("fusion", Fusion.run);
+      ("const-fold", Const_fold.run); ("copy-prop", Copy_prop.run);
+      ("collapse", Collapse.run); ("cse", Cse.run); ("dce", Dce.run) ]
+
+let passes = function O0 -> [] | O1 -> o1_passes | O2 -> o2_passes
+
+let optimize level func =
+  List.fold_left (fun f (_, pass) -> pass f) func (passes level)

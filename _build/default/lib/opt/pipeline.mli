@@ -1,0 +1,20 @@
+(** The scalar optimization pass manager.
+
+    - [O0]: nothing (the MATLAB-Coder-style baseline runs at O0);
+    - [O1]: constant folding, copy/constant propagation, dead-code
+      elimination;
+    - [O2]: O1 plus common-subexpression elimination and loop-invariant
+      code motion, iterated twice.
+
+    Vectorization and complex-instruction selection are separate stages
+    (see {!Masc_vectorize}) that run after [optimize]. *)
+
+type level = O0 | O1 | O2
+
+val level_of_int : int -> level
+val level_name : level -> string
+val optimize : level -> Masc_mir.Mir.func -> Masc_mir.Mir.func
+
+(** Individual pass list at a level, for ablation benchmarks:
+    [(name, pass)] in execution order. *)
+val passes : level -> (string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list

@@ -1,0 +1,117 @@
+module Mir = Masc_mir.Mir
+
+let rec map_block_instr f (i : Mir.instr) : Mir.instr =
+  match i with
+  | Mir.Iif (c, t, e) -> Mir.Iif (c, map_block f t, map_block f e)
+  | Mir.Iloop l -> Mir.Iloop { l with Mir.body = map_block f l.Mir.body }
+  | Mir.Iwhile { cond_block; cond; body } ->
+    Mir.Iwhile
+      { cond_block = map_block f cond_block; cond; body = map_block f body }
+  | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
+  | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+    i
+
+and map_block f (b : Mir.block) : Mir.block =
+  f (List.map (map_block_instr f) b)
+
+let map_blocks f (func : Mir.func) : Mir.func =
+  { func with Mir.body = map_block f func.Mir.body }
+
+let map_rvalues f (func : Mir.func) : Mir.func =
+  let rewrite_instr = function
+    | Mir.Idef (v, rv) -> Mir.Idef (v, f rv)
+    | other -> other
+  in
+  map_blocks (List.map rewrite_instr) func
+
+let rec iter_block g (b : Mir.block) =
+  List.iter
+    (fun i ->
+      (match i with
+      | Mir.Iif (_, t, e) ->
+        iter_block g t;
+        iter_block g e
+      | Mir.Iloop l -> iter_block g l.Mir.body
+      | Mir.Iwhile { cond_block; body; _ } ->
+        iter_block g cond_block;
+        iter_block g body
+      | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak
+      | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+        ());
+      g i)
+    b
+
+let iter_instrs g (func : Mir.func) = iter_block g func.Mir.body
+
+let operands_of_rvalue = function
+  | Mir.Rbin (_, a, b) -> [ a; b ]
+  | Mir.Runop (_, a) -> [ a ]
+  | Mir.Rmath (_, args) -> args
+  | Mir.Rcomplex (a, b) -> [ a; b ]
+  | Mir.Rload (arr, idx) -> [ Mir.Ovar arr; idx ]
+  | Mir.Rmove a -> [ a ]
+  | Mir.Rvload (arr, base, _) -> [ Mir.Ovar arr; base ]
+  | Mir.Rvbroadcast (a, _) -> [ a ]
+  | Mir.Rvreduce (_, a) -> [ a ]
+  | Mir.Rintrin (_, args) -> args
+
+let use_counts (func : Mir.func) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let bump = function
+    | Mir.Ovar v ->
+      Hashtbl.replace tbl v.Mir.vid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Mir.vid))
+    | Mir.Oconst _ -> ()
+  in
+  let instr = function
+    | Mir.Idef (_, rv) -> List.iter bump (operands_of_rvalue rv)
+    | Mir.Istore (arr, idx, v) ->
+      bump (Mir.Ovar arr);
+      bump idx;
+      bump v
+    | Mir.Ivstore (arr, base, v, _) ->
+      bump (Mir.Ovar arr);
+      bump base;
+      bump v
+    | Mir.Iif (c, _, _) -> bump c
+    | Mir.Iloop l ->
+      bump l.Mir.lo;
+      bump l.Mir.step;
+      bump l.Mir.hi
+    | Mir.Iwhile { cond; _ } -> bump cond
+    | Mir.Iprint (_, ops) -> List.iter bump ops
+    | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> ()
+  in
+  iter_instrs instr func;
+  List.iter (fun r -> bump (Mir.Ovar r)) func.Mir.rets;
+  tbl
+
+let defined_in (b : Mir.block) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  iter_block
+    (function
+      | Mir.Idef (v, _) -> Hashtbl.replace tbl v.Mir.vid ()
+      | Mir.Iloop l -> Hashtbl.replace tbl l.Mir.ivar.Mir.vid ()
+      | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _ | Mir.Ibreak
+      | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+        ())
+    b;
+  tbl
+
+let stored_in (b : Mir.block) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  iter_block
+    (function
+      | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
+        Hashtbl.replace tbl arr.Mir.vid ()
+      | Mir.Idef _ | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ | Mir.Ibreak
+      | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+        ())
+    b;
+  tbl
+
+let pure = function
+  | Mir.Rbin _ | Mir.Runop _ | Mir.Rmath _ | Mir.Rcomplex _ | Mir.Rmove _
+  | Mir.Rvbroadcast _ | Mir.Rvreduce _ ->
+    true
+  | Mir.Rload _ | Mir.Rvload _ | Mir.Rintrin _ -> false

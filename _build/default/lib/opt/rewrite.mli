@@ -1,0 +1,32 @@
+(** Shared traversal helpers for MIR optimization passes. *)
+
+module Mir = Masc_mir.Mir
+
+(** [map_blocks f func] applies [f] to every block bottom-up (inner blocks
+    first), rebuilding the function. *)
+val map_blocks : (Mir.block -> Mir.block) -> Mir.func -> Mir.func
+
+(** [map_rvalues f func] rewrites every rvalue in place. *)
+val map_rvalues : (Mir.rvalue -> Mir.rvalue) -> Mir.func -> Mir.func
+
+(** [iter_instrs f func] visits every instruction, innermost first. *)
+val iter_instrs : (Mir.instr -> unit) -> Mir.func -> unit
+
+(** Operand use counts over a whole function: how many times each
+    variable id is read (in rvalues, indices, conditions, bounds, prints).
+    Return variables are counted as used. *)
+val use_counts : Mir.func -> (int, int) Hashtbl.t
+
+(** Variable ids assigned anywhere in a block (including nested), i.e.
+    [Idef] targets and loop induction variables. *)
+val defined_in : Mir.block -> (int, unit) Hashtbl.t
+
+(** Array variable ids stored to anywhere in a block (including nested). *)
+val stored_in : Mir.block -> (int, unit) Hashtbl.t
+
+(** [operands_of_rvalue rv] lists the operands an rvalue reads. *)
+val operands_of_rvalue : Mir.rvalue -> Mir.operand list
+
+(** [pure rv] holds when re-evaluating the rvalue is safe (no memory
+    reads; loads are excluded because stores may intervene). *)
+val pure : Mir.rvalue -> bool

@@ -1,0 +1,1 @@
+lib/sema/builtins.ml: Diag Float Info List Masc_frontend Mtype Option

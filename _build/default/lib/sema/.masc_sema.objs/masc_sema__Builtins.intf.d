@@ -1,0 +1,1 @@
+lib/sema/builtins.mli: Info Masc_frontend

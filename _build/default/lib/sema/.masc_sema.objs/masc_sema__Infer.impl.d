@@ -1,0 +1,1 @@
+lib/sema/infer.ml: Array Ast Builtins Diag Float Hashtbl Info List Loc Map Masc_frontend Mtype Option Parser Printf String Tast

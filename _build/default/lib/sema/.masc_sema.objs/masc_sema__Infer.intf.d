@@ -1,0 +1,1 @@
+lib/sema/infer.mli: Masc_frontend Mtype Tast

@@ -1,0 +1,1 @@
+lib/sema/info.ml: Float Format Mtype

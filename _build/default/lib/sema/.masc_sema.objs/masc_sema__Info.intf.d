@@ -1,0 +1,1 @@
+lib/sema/info.mli: Format Mtype

@@ -1,0 +1,1 @@
+lib/sema/mtype.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/sema/mtype.mli: Format

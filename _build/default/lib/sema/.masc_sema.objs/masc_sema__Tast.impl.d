@@ -1,0 +1,1 @@
+lib/sema/tast.ml: Array Builtins Format Masc_frontend Mtype

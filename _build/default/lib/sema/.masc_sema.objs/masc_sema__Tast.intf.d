@@ -1,0 +1,1 @@
+lib/sema/tast.mli: Builtins Format Masc_frontend Mtype

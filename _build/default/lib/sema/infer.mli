@@ -1,0 +1,25 @@
+(** Type, shape and constant inference; produces the typed AST.
+
+    The engine implements the static-shape discipline of MATLAB-to-C
+    flows: the entry function is specialized to a concrete vector of
+    argument types (like MATLAB Coder's [-args]), integer constants are
+    propagated so that [n = length(x); y = zeros(1, n)] yields static
+    shapes, and user functions are inferred once per distinct
+    argument-type vector (monomorphic instances, which lowering inlines).
+
+    Subset restrictions (diagnosed, not silently miscompiled):
+    - array shapes must resolve to compile-time constants;
+    - a variable may change base type or become complex, but never shape;
+    - indexed assignment requires preallocation (e.g. with [zeros]);
+    - recursion is not supported;
+    - [if]/[while] conditions must be scalar. *)
+
+val infer_program :
+  Masc_frontend.Ast.program ->
+  entry:string ->
+  arg_types:Mtype.t list ->
+  Tast.program
+
+(** [infer_source src ~entry ~arg_types] parses then infers. *)
+val infer_source :
+  string -> entry:string -> arg_types:Mtype.t list -> Tast.program

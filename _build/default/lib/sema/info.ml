@@ -1,0 +1,40 @@
+type const = Cint of int | Cfloat of float | Cbool of bool
+type t = { ty : Mtype.t; const : const option }
+
+let of_ty ty = { ty; const = None }
+let cint n = { ty = Mtype.int_; const = Some (Cint n) }
+let cfloat f = { ty = Mtype.double; const = Some (Cfloat f) }
+let cbool b = { ty = Mtype.bool_; const = Some (Cbool b) }
+
+let int_const info =
+  match info.const with
+  | Some (Cint n) -> Some n
+  | Some (Cfloat f) when Float.is_integer f -> Some (int_of_float f)
+  | Some (Cbool b) -> Some (if b then 1 else 0)
+  | Some (Cfloat _) | None -> None
+
+let float_const info =
+  match info.const with
+  | Some (Cint n) -> Some (float_of_int n)
+  | Some (Cfloat f) -> Some f
+  | Some (Cbool b) -> Some (if b then 1.0 else 0.0)
+  | None -> None
+
+let join a b =
+  match Mtype.join a.ty b.ty with
+  | None -> None
+  | Some ty ->
+    let const =
+      match (a.const, b.const) with
+      | Some ca, Some cb when ca = cb -> Some ca
+      | _ -> None
+    in
+    Some { ty; const }
+
+let pp ppf t =
+  Mtype.pp ppf t.ty;
+  match t.const with
+  | Some (Cint n) -> Format.fprintf ppf " = %d" n
+  | Some (Cfloat f) -> Format.fprintf ppf " = %g" f
+  | Some (Cbool b) -> Format.fprintf ppf " = %b" b
+  | None -> ()

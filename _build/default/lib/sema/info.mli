@@ -1,0 +1,24 @@
+(** Abstract values carried by the inference engine: a static type plus an
+    optional compile-time constant. Integer constants are what make static
+    shapes possible ([n = length(x); y = zeros(1, n)]). *)
+
+type const = Cint of int | Cfloat of float | Cbool of bool
+
+type t = { ty : Mtype.t; const : const option }
+
+val of_ty : Mtype.t -> t
+val cint : int -> t
+val cfloat : float -> t
+val cbool : bool -> t
+
+(** [int_const info] extracts an integer value if statically known
+    (including integral floats). *)
+val int_const : t -> int option
+
+val float_const : t -> float option
+
+(** Join for control-flow merges: type join (shape must match; [None]
+    otherwise), constants kept only when equal. *)
+val join : t -> t -> t option
+
+val pp : Format.formatter -> t -> unit

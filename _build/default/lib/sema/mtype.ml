@@ -1,0 +1,56 @@
+type base = Bool | Int | Double
+type cplx = Real | Complex
+type t = { base : base; cplx : cplx; rows : int; cols : int }
+
+let scalar ?(cplx = Real) base = { base; cplx; rows = 1; cols = 1 }
+let double = scalar Double
+let int_ = scalar Int
+let bool_ = scalar Bool
+let complex = scalar ~cplx:Complex Double
+let row_vector ?(cplx = Real) base n = { base; cplx; rows = 1; cols = n }
+let col_vector ?(cplx = Real) base n = { base; cplx; rows = n; cols = 1 }
+let matrix ?(cplx = Real) base rows cols = { base; cplx; rows; cols }
+
+let is_scalar t = t.rows = 1 && t.cols = 1
+let is_vector t = t.rows = 1 || t.cols = 1
+let numel t = t.rows * t.cols
+
+let promote_base a b =
+  match (a, b) with
+  | Double, _ | _, Double -> Double
+  | Int, _ | _, Int -> Int
+  | Bool, Bool -> Bool
+
+let promote_cplx a b =
+  match (a, b) with Complex, _ | _, Complex -> Complex | Real, Real -> Real
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let join a b =
+  if same_shape a b then
+    Some
+      { base = promote_base a.base b.base;
+        cplx = promote_cplx a.cplx b.cplx;
+        rows = a.rows;
+        cols = a.cols }
+  else None
+
+let equal a b = a.base = b.base && a.cplx = b.cplx && same_shape a b
+
+let broadcast a b =
+  if is_scalar a then Some (b.rows, b.cols)
+  else if is_scalar b then Some (a.rows, a.cols)
+  else if same_shape a b then Some (a.rows, a.cols)
+  else None
+
+let with_shape t rows cols = { t with rows; cols }
+
+let base_name = function Bool -> "bool" | Int -> "int" | Double -> "double"
+
+let to_string t =
+  let b = base_name t.base in
+  let c = match t.cplx with Real -> "" | Complex -> "complex " in
+  if is_scalar t then c ^ b
+  else Printf.sprintf "%s%s %dx%d" c b t.rows t.cols
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

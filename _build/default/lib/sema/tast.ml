@@ -1,0 +1,100 @@
+type texpr = { ety : Mtype.t; edesc : texpr_desc; espan : Masc_frontend.Loc.span }
+
+and texpr_desc =
+  | Tnum of float
+  | Timag of float
+  | Tbool of bool
+  | Tvar of string
+  | Trange of texpr * texpr option * texpr
+  | Tunop of Masc_frontend.Ast.unop * texpr
+  | Tbinop of Masc_frontend.Ast.binop * texpr * texpr
+  | Ttranspose of Masc_frontend.Ast.transpose_kind * texpr
+  | Tindex of string * Mtype.t * tindex list
+  | Tbuiltin of Builtins.t * texpr list
+  | Tcall of int * texpr list
+  | Tmatrix of texpr list list
+
+and tindex =
+  | Tidx_scalar of texpr
+  | Tidx_colon of int
+  | Tidx_range of { lo : texpr; step : int; count : int }
+  | Tidx_gather of texpr * int
+
+type tstmt = { sdesc : tstmt_desc; sspan : Masc_frontend.Loc.span }
+
+and tstmt_desc =
+  | Tassign of string * texpr
+  | Tstore of string * Mtype.t * tindex list * texpr
+  | Tmulti of string list * texpr
+  | Tif of (texpr * tblock) list * tblock
+  | Tfor of string * titer * tblock
+  | Twhile of texpr * tblock
+  | Tprint of string option * texpr list
+  | Tbreak
+  | Tcontinue
+  | Treturn
+
+and titer =
+  | Titer_range of texpr * texpr option * texpr
+  | Titer_vector of texpr
+
+and tblock = tstmt list
+
+type tfunc = {
+  tname : string;
+  tparams : (string * Mtype.t) list;
+  trets : (string * Mtype.t) list;
+  tlocals : (string * Mtype.t) list;
+  tbody : tblock;
+}
+
+type instance = { inst_name : string; inst_func : tfunc }
+type program = { instances : instance array; entry : int }
+
+let entry_func p = p.instances.(p.entry).inst_func
+
+let rec pp_texpr ppf e =
+  let open Format in
+  match e.edesc with
+  | Tnum f -> fprintf ppf "%g" f
+  | Timag f -> fprintf ppf "%gi" f
+  | Tbool b -> fprintf ppf "%b" b
+  | Tvar v -> pp_print_string ppf v
+  | Trange (lo, None, hi) -> fprintf ppf "(%a:%a)" pp_texpr lo pp_texpr hi
+  | Trange (lo, Some s, hi) ->
+    fprintf ppf "(%a:%a:%a)" pp_texpr lo pp_texpr s pp_texpr hi
+  | Tunop (op, a) ->
+    fprintf ppf "(%s%a)" (Masc_frontend.Ast.unop_name op) pp_texpr a
+  | Tbinop (op, a, b) ->
+    fprintf ppf "(%a %s %a)" pp_texpr a
+      (Masc_frontend.Ast.binop_name op)
+      pp_texpr b
+  | Ttranspose (_, a) -> fprintf ppf "%a'" pp_texpr a
+  | Tindex (v, _, idx) ->
+    fprintf ppf "%s(%a)" v
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_tindex)
+      idx
+  | Tbuiltin (_, args) ->
+    fprintf ppf "builtin(%a)"
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_texpr)
+      args
+  | Tcall (i, args) ->
+    fprintf ppf "call#%d(%a)" i
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_texpr)
+      args
+  | Tmatrix rows ->
+    let pp_row ppf row =
+      pp_print_list
+        ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+        pp_texpr ppf row
+    in
+    fprintf ppf "[%a]"
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf "; ") pp_row)
+      rows
+
+and pp_tindex ppf = function
+  | Tidx_scalar e -> pp_texpr ppf e
+  | Tidx_colon n -> Format.fprintf ppf ":/%d" n
+  | Tidx_range { lo; step; count } ->
+    Format.fprintf ppf "%a:+%d*%d" pp_texpr lo step count
+  | Tidx_gather (e, n) -> Format.fprintf ppf "gather(%a)/%d" pp_texpr e n

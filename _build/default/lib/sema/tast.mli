@@ -1,0 +1,80 @@
+(** Typed abstract syntax produced by {!Infer}.
+
+    Every expression carries its static type at that program point.
+    [end] markers and slice extents are resolved to compile-time
+    constants; call targets are resolved to inferred function instances
+    (a function inferred once per distinct argument-type vector, as the
+    paper's interprocedural flow requires for inlining). *)
+
+type texpr = { ety : Mtype.t; edesc : texpr_desc; espan : Masc_frontend.Loc.span }
+
+and texpr_desc =
+  | Tnum of float  (** numeric literal; [ety] says whether Int or Double *)
+  | Timag of float
+  | Tbool of bool
+  | Tvar of string
+  | Trange of texpr * texpr option * texpr
+      (** materialized range value (e.g. [x = 0:n-1]); static length is in
+          [ety] *)
+  | Tunop of Masc_frontend.Ast.unop * texpr
+  | Tbinop of Masc_frontend.Ast.binop * texpr * texpr
+  | Ttranspose of Masc_frontend.Ast.transpose_kind * texpr
+  | Tindex of string * Mtype.t * tindex list
+      (** array read: name, array type, one or two indices *)
+  | Tbuiltin of Builtins.t * texpr list
+  | Tcall of int * texpr list  (** call of instance [i] in {!program} *)
+  | Tmatrix of texpr list list  (** matrix literal, rows of elements *)
+
+and tindex =
+  | Tidx_scalar of texpr  (** 1-based scalar index *)
+  | Tidx_colon of int  (** whole dimension; payload is its static length *)
+  | Tidx_range of { lo : texpr; step : int; count : int }
+      (** slice with static step and count; [lo] may be dynamic *)
+  | Tidx_gather of texpr * int
+      (** vector-valued index of static length *)
+
+type tstmt = { sdesc : tstmt_desc; sspan : Masc_frontend.Loc.span }
+
+and tstmt_desc =
+  | Tassign of string * texpr  (** whole-variable assignment *)
+  | Tstore of string * Mtype.t * tindex list * texpr
+      (** indexed assignment [a(idx) = v]; the type is the array's final
+          (declared) type *)
+  | Tmulti of string list * texpr
+      (** [[a, b] = f(...)] or [[r, c] = size(x)]; rhs is [Tcall] or
+          [Tbuiltin Size] *)
+  | Tif of (texpr * tblock) list * tblock
+  | Tfor of string * titer * tblock
+  | Twhile of texpr * tblock
+  | Tprint of string option * texpr list
+      (** [fprintf(fmt, ...)] (Some fmt) or [disp(x)] (None) *)
+  | Tbreak
+  | Tcontinue
+  | Treturn
+
+and titer =
+  | Titer_range of texpr * texpr option * texpr  (** lo, step, hi — scalars *)
+  | Titer_vector of texpr  (** iterate over the elements of a vector *)
+
+and tblock = tstmt list
+
+type tfunc = {
+  tname : string;
+  tparams : (string * Mtype.t) list;
+  trets : (string * Mtype.t) list;
+  tlocals : (string * Mtype.t) list;
+      (** all non-parameter variables with their final (joined) types *)
+  tbody : tblock;
+}
+
+(** A monomorphic instance of a source function: the function specialized
+    to one vector of argument types. *)
+type instance = { inst_name : string; inst_func : tfunc }
+
+type program = {
+  instances : instance array;
+  entry : int;  (** index of the entry instance *)
+}
+
+val entry_func : program -> tfunc
+val pp_texpr : Format.formatter -> texpr -> unit

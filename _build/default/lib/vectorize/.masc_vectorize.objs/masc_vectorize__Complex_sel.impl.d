@@ -1,0 +1,1 @@
+lib/vectorize/complex_sel.ml: Hashtbl Masc_asip Masc_mir Masc_opt Masc_sema Option String

@@ -1,0 +1,1 @@
+lib/vectorize/complex_sel.mli: Masc_asip Masc_mir

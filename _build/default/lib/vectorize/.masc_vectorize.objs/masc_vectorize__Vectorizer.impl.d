@@ -1,0 +1,1 @@
+lib/vectorize/vectorizer.ml: Hashtbl Int List Masc_asip Masc_mir Masc_opt Masc_sema Option Set String

@@ -1,0 +1,1 @@
+lib/vectorize/vectorizer.mli: Masc_asip Masc_mir

@@ -1,0 +1,90 @@
+module Mir = Masc_mir.Mir
+module Isa = Masc_asip.Isa
+module MT = Masc_sema.Mtype
+
+type stats = { cmul : int; cmac : int; cadd : int }
+
+let is_complex (op : Mir.operand) =
+  match Mir.operand_ty op with
+  | Mir.Tscalar s | Mir.Tarray (s, _) -> s.Mir.cplx = MT.Complex
+
+let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
+  let cmul_i = Isa.find isa Isa.Kcmul in
+  let cmac_i = Isa.find isa Isa.Kcmac in
+  let cadd_i = Isa.find isa Isa.Kcadd in
+  let stats = ref { cmul = 0; cmac = 0; cadd = 0 } in
+  match (cmul_i, cmac_i, cadd_i) with
+  | None, None, None -> (func, !stats)
+  | _ ->
+    (* Pass 1: select cmul / cadd for complex Rbin operations. *)
+    let select rv =
+      match rv with
+      | Mir.Rbin (Mir.Bmul, a, b) when is_complex a || is_complex b -> (
+        match cmul_i with
+        | Some d ->
+          stats := { !stats with cmul = !stats.cmul + 1 };
+          Mir.Rintrin (d.Isa.iname, [ a; b ])
+        | None -> rv)
+      | Mir.Rbin (Mir.Badd, a, b) when is_complex a || is_complex b -> (
+        match cadd_i with
+        | Some d ->
+          stats := { !stats with cadd = !stats.cadd + 1 };
+          Mir.Rintrin (d.Isa.iname, [ a; b ])
+        | None -> rv)
+      | _ -> rv
+    in
+    let func = Masc_opt.Rewrite.map_rvalues select func in
+    (* Pass 2: fuse cmul feeding a single-use complex add into cmac. *)
+    let func =
+      match (cmul_i, cmac_i) with
+      | Some cmul_d, Some cmac_d ->
+        let uses = Masc_opt.Rewrite.use_counts func in
+        let fuse (block : Mir.block) : Mir.block =
+          let rec go = function
+            | Mir.Idef (t, Mir.Rintrin (m, [ a; b ]))
+              :: Mir.Idef (acc, rv_add)
+              :: rest
+              when String.equal m cmul_d.Isa.iname
+                   && Hashtbl.find_opt uses t.Mir.vid = Some 1 -> (
+              let acc_operand =
+                match rv_add with
+                | Mir.Rintrin (ad, [ x; Mir.Ovar t' ])
+                  when Option.is_some cadd_i
+                       && String.equal ad
+                            (Option.get cadd_i).Isa.iname
+                       && t'.Mir.vid = t.Mir.vid ->
+                  Some x
+                | Mir.Rintrin (ad, [ Mir.Ovar t'; x ])
+                  when Option.is_some cadd_i
+                       && String.equal ad
+                            (Option.get cadd_i).Isa.iname
+                       && t'.Mir.vid = t.Mir.vid ->
+                  Some x
+                | Mir.Rbin (Mir.Badd, x, Mir.Ovar t') when t'.Mir.vid = t.Mir.vid
+                  ->
+                  Some x
+                | Mir.Rbin (Mir.Badd, Mir.Ovar t', x) when t'.Mir.vid = t.Mir.vid
+                  ->
+                  Some x
+                | _ -> None
+              in
+              match acc_operand with
+              | Some x ->
+                stats :=
+                  { !stats with
+                    cmac = !stats.cmac + 1;
+                    cadd = max 0 (!stats.cadd - 1) };
+                Mir.Idef (acc, Mir.Rintrin (cmac_d.Isa.iname, [ x; a; b ]))
+                :: go rest
+              | None ->
+                Mir.Idef (t, Mir.Rintrin (m, [ a; b ]))
+                :: go (Mir.Idef (acc, rv_add) :: rest))
+            | i :: rest -> i :: go rest
+            | [] -> []
+          in
+          go block
+        in
+        Masc_opt.Rewrite.map_blocks fuse func
+      | _ -> func
+    in
+    (func, !stats)

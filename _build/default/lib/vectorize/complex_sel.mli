@@ -1,0 +1,20 @@
+(** Complex-arithmetic custom-instruction selection.
+
+    The second ISE class the paper exploits: complex multiplies (and
+    multiply-accumulate chains) in the scalarized code are rewritten to
+    the target's complex intrinsics, so the generated C calls e.g.
+    [cmul_f64(a, b)] instead of open-coding four multiplies and two
+    adds.
+
+    Patterns:
+    - [t = a *c b]                  → [t = cmul(a, b)]
+    - [t = a +c b] / subtraction via negation is left alone
+    - [t = cmul(a, b); acc = acc +c t] (t used once)
+                                    → [acc = cmac(acc, a, b)]
+
+    Selection only fires for instructions present in the ISA
+    description. *)
+
+type stats = { cmul : int; cmac : int; cadd : int }
+
+val run : Masc_asip.Isa.t -> Masc_mir.Mir.func -> Masc_mir.Mir.func * stats

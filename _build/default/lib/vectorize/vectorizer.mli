@@ -1,0 +1,29 @@
+(** The SIMD loop vectorizer — the paper's data-parallelism stage.
+
+    Rewrites innermost counted loops onto the target's SIMD custom
+    instructions, in two shapes:
+
+    - {b map loops}: element-wise bodies whose loads and stores are
+      stride-1 affine in the induction variable become wide loads /
+      vector intrinsics / wide stores, with a scalar epilogue for the
+      remainder (strip-mining by the ISA's vector width);
+    - {b reduction loops}: a scalar accumulator updated with [+]/[min]/
+      [max] becomes a vector accumulator combined per-chunk (using the
+      fused multiply-accumulate instruction when the summand is a
+      product — the dot-product/FIR idiom), then folded with a horizontal
+      reduction after the loop.
+
+    Legality is conservative: single definition per variable in the
+    body, no control flow inside, no array both loaded and stored, at
+    most one store per array, stride exactly 1. Floating-point
+    reassociation in reductions is accepted, as in any [-ffast-math]
+    vectorizer (and as the paper's ASIP MAC hardware implies).
+
+    Trip counts may be dynamic: chunk counts are computed at run time. *)
+
+type stats = { map_loops : int; reduction_loops : int }
+
+(** [run isa func] returns the rewritten function and how many loops of
+    each shape were vectorized. With [isa.vector_width < 2] the function
+    is returned unchanged. *)
+val run : Masc_asip.Isa.t -> Masc_mir.Mir.func -> Masc_mir.Mir.func * stats

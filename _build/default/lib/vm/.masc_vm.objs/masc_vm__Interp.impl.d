@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Complex Format Hashtbl List Masc_asip Masc_mir Masc_sema Printf Scanf String Value

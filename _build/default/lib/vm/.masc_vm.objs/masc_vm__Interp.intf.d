@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Complex Masc_asip Masc_mir Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Array Complex Float Format Masc_mir Masc_sema Printf

@@ -1,0 +1,1 @@
+lib/vm/value.mli: Complex Format Masc_mir

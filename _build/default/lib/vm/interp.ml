@@ -1,0 +1,467 @@
+module Mir = Masc_mir.Mir
+module Isa = Masc_asip.Isa
+module Cost = Masc_asip.Cost_model
+module V = Value
+
+type xvalue = Xscalar of Value.scalar | Xarray of Value.scalar array
+
+type result = {
+  rets : xvalue list;
+  cycles : int;
+  dyn_instrs : int;
+  histogram : (string * int) list;
+  output : string;
+}
+
+exception Runtime_error of string
+exception Break_exc
+exception Continue_exc
+exception Return_exc
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type cell = Creg of Value.t ref | Carr of Value.scalar array
+
+type state = {
+  isa : Isa.t;
+  mode : Cost.mode;
+  cells : (int, cell) Hashtbl.t;
+  mutable cycles : int;
+  mutable dyn : int;
+  max_cycles : int;
+  hist : (string, int) Hashtbl.t;
+  out : Buffer.t;
+}
+
+let charge st cls cycles =
+  st.cycles <- st.cycles + cycles;
+  st.dyn <- st.dyn + 1;
+  (match Hashtbl.find_opt st.hist cls with
+  | Some c -> Hashtbl.replace st.hist cls (c + cycles)
+  | None -> Hashtbl.replace st.hist cls cycles);
+  if st.cycles > st.max_cycles then
+    fail "cycle budget exceeded (%d); possible runaway loop" st.max_cycles
+
+let cell st (v : Mir.var) =
+  match Hashtbl.find_opt st.cells v.Mir.vid with
+  | Some c -> c
+  | None ->
+    (* Lazily create cells: registers start at zero, arrays zero-filled. *)
+    let c =
+      match v.Mir.vty with
+      | Mir.Tscalar sty -> Creg (ref (Value.Scalar (V.coerce sty (V.Si 0))))
+      | Mir.Tarray (sty, n) -> Carr (Array.make n (V.coerce sty (V.Si 0)))
+    in
+    Hashtbl.replace st.cells v.Mir.vid c;
+    c
+
+let reg st v =
+  match cell st v with
+  | Creg r -> r
+  | Carr _ -> fail "variable %s.%d used as a register" v.Mir.vname v.Mir.vid
+
+let arr st v =
+  match cell st v with
+  | Carr a -> a
+  | Creg _ -> fail "variable %s.%d used as an array" v.Mir.vname v.Mir.vid
+
+let scalar_of_value = function
+  | Value.Scalar s -> s
+  | Value.Vector _ -> fail "vector value used where a scalar was expected"
+
+let eval_operand st (op : Mir.operand) : Value.t =
+  match op with
+  | Mir.Ovar v -> !(reg st v)
+  | Mir.Oconst (Mir.Cf f) -> Value.Scalar (V.Sf f)
+  | Mir.Oconst (Mir.Ci i) -> Value.Scalar (V.Si i)
+  | Mir.Oconst (Mir.Cb b) -> Value.Scalar (V.Sb b)
+  | Mir.Oconst (Mir.Cc z) -> Value.Scalar (V.Sc z)
+
+let eval_scalar st op = scalar_of_value (eval_operand st op)
+
+let index_of st op n what =
+  let s = eval_scalar st op in
+  let i = V.to_int s in
+  if i < 0 || i >= n then fail "%s index %d out of bounds [0, %d)" what i n;
+  i
+
+(* Lane-wise application helpers for vector semantics. *)
+let lanewise2 f a b =
+  match (a, b) with
+  | Value.Vector x, Value.Vector y ->
+    if Array.length x <> Array.length y then fail "vector width mismatch";
+    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
+  | Value.Vector x, Value.Scalar s ->
+    Value.Vector (Array.map (fun xi -> f xi s) x)
+  | Value.Scalar s, Value.Vector y ->
+    Value.Vector (Array.map (fun yi -> f s yi) y)
+  | Value.Scalar x, Value.Scalar y -> Value.Scalar (f x y)
+
+let lanewise3 f a b c =
+  match (a, b, c) with
+  | Value.Vector x, Value.Vector y, Value.Vector z
+    when Array.length x = Array.length y && Array.length y = Array.length z ->
+    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i) z.(i)))
+  | _ -> fail "three-operand vector op requires equal widths"
+
+let eval_intrin st name (args : Value.t list) : Value.t =
+  match Isa.find_named st.isa name with
+  | None -> fail "target %s has no intrinsic %s" st.isa.Isa.tname name
+  | Some desc -> (
+    let bin2 op =
+      match args with
+      | [ a; b ] -> lanewise2 (V.binop op) a b
+      | _ -> fail "%s expects 2 operands" name
+    in
+    match desc.Isa.kind with
+    | Isa.Ksimd_add -> bin2 Mir.Badd
+    | Isa.Ksimd_sub -> bin2 Mir.Bsub
+    | Isa.Ksimd_mul -> bin2 Mir.Bmul
+    | Isa.Ksimd_div -> bin2 Mir.Bdiv
+    | Isa.Ksimd_min -> bin2 Mir.Bmin
+    | Isa.Ksimd_max -> bin2 Mir.Bmax
+    | Isa.Kmac -> (
+      match args with
+      | [ acc; a; b ] ->
+        lanewise3
+          (fun acc a b -> V.binop Mir.Badd acc (V.binop Mir.Bmul a b))
+          acc a b
+      | _ -> fail "mac expects 3 operands")
+    | Isa.Kcmul -> (
+      match args with
+      | [ a; b ] ->
+        Value.Scalar
+          (V.Sc
+             (Complex.mul
+                (V.to_complex (scalar_of_value a))
+                (V.to_complex (scalar_of_value b))))
+      | _ -> fail "cmul expects 2 operands")
+    | Isa.Kcmac -> (
+      match args with
+      | [ acc; a; b ] ->
+        Value.Scalar
+          (V.Sc
+             (Complex.add
+                (V.to_complex (scalar_of_value acc))
+                (Complex.mul
+                   (V.to_complex (scalar_of_value a))
+                   (V.to_complex (scalar_of_value b)))))
+      | _ -> fail "cmac expects 3 operands")
+    | Isa.Kcadd -> (
+      match args with
+      | [ a; b ] ->
+        Value.Scalar
+          (V.Sc
+             (Complex.add
+                (V.to_complex (scalar_of_value a))
+                (V.to_complex (scalar_of_value b))))
+      | _ -> fail "cadd expects 2 operands")
+    | Isa.Kload | Isa.Kstore | Isa.Kbroadcast ->
+      fail "%s: memory intrinsics are expressed as Rvload/Ivstore" name
+    | Isa.Kreduce_add | Isa.Kreduce_min | Isa.Kreduce_max -> (
+      match args with
+      | [ Value.Vector x ] ->
+        let combine =
+          match desc.Isa.kind with
+          | Isa.Kreduce_add -> V.binop Mir.Badd
+          | Isa.Kreduce_min -> V.binop Mir.Bmin
+          | _ -> V.binop Mir.Bmax
+        in
+        let acc = ref x.(0) in
+        for i = 1 to Array.length x - 1 do
+          acc := combine !acc x.(i)
+        done;
+        Value.Scalar !acc
+      | _ -> fail "reduce expects one vector operand"))
+
+let class_of_rvalue (rv : Mir.rvalue) =
+  match rv with
+  | Mir.Rbin (_, a, b) ->
+    let cplx (op : Mir.operand) =
+      match Mir.operand_ty op with
+      | Mir.Tscalar s | Mir.Tarray (s, _) ->
+        s.Mir.cplx = Masc_sema.Mtype.Complex
+    in
+    if cplx a || cplx b then "complex" else "alu"
+  | Mir.Runop _ -> "alu"
+  | Mir.Rmath _ -> "math"
+  | Mir.Rcomplex _ -> "complex"
+  | Mir.Rload _ -> "mem"
+  | Mir.Rmove _ -> "move"
+  | Mir.Rvload _ | Mir.Rvbroadcast _ | Mir.Rvreduce _ -> "simd"
+  | Mir.Rintrin (name, _) ->
+    if String.length name > 0 && name.[0] = 'c' then "complex-ise" else "simd"
+
+let eval_rvalue st (rv : Mir.rvalue) : Value.t =
+  match rv with
+  | Mir.Rbin (op, a, b) ->
+    lanewise2 (V.binop op) (eval_operand st a) (eval_operand st b)
+  | Mir.Runop (op, a) -> (
+    match eval_operand st a with
+    | Value.Scalar s -> Value.Scalar (V.unop op s)
+    | Value.Vector x -> Value.Vector (Array.map (V.unop op) x))
+  | Mir.Rmath (name, args) ->
+    Value.Scalar (V.math name (List.map (eval_scalar st) args))
+  | Mir.Rcomplex (re, im) ->
+    Value.Scalar
+      (V.Sc
+         { Complex.re = V.to_float (eval_scalar st re);
+           im = V.to_float (eval_scalar st im) })
+  | Mir.Rload (a, idx) ->
+    let arr = arr st a in
+    let i = index_of st idx (Array.length arr) a.Mir.vname in
+    Value.Scalar arr.(i)
+  | Mir.Rmove a -> eval_operand st a
+  | Mir.Rvload (a, base, lanes) ->
+    let arr = arr st a in
+    let b = index_of st base (Array.length arr) a.Mir.vname in
+    if b + lanes > Array.length arr then
+      fail "vector load past end of %s" a.Mir.vname;
+    Value.Vector (Array.sub arr b lanes)
+  | Mir.Rvbroadcast (a, lanes) ->
+    let s = eval_scalar st a in
+    Value.Vector (Array.make lanes s)
+  | Mir.Rvreduce (r, a) -> (
+    match eval_operand st a with
+    | Value.Vector x ->
+      let combine =
+        match r with
+        | Mir.Vsum -> V.binop Mir.Badd
+        | Mir.Vprod -> V.binop Mir.Bmul
+        | Mir.Vmin -> V.binop Mir.Bmin
+        | Mir.Vmax -> V.binop Mir.Bmax
+      in
+      let acc = ref x.(0) in
+      for i = 1 to Array.length x - 1 do
+        acc := combine !acc x.(i)
+      done;
+      Value.Scalar !acc
+    | Value.Scalar _ -> fail "vreduce of a scalar")
+  | Mir.Rintrin (name, args) ->
+    eval_intrin st name (List.map (eval_operand st) args)
+
+let coerce_value (sty : Mir.scalar_ty) (v : Value.t) =
+  match v with
+  | Value.Scalar s -> Value.Scalar (V.coerce { sty with Mir.lanes = 1 } s)
+  | Value.Vector x ->
+    Value.Vector (Array.map (V.coerce { sty with Mir.lanes = 1 }) x)
+
+(* fprintf-style formatting with a flat queue of scalars; the format is
+   recycled as long as arguments remain, as MATLAB does. *)
+let render_format (fmt : string) (queue : Value.scalar list) : string =
+  let b = Buffer.create 64 in
+  let n = String.length fmt in
+  let args = ref queue in
+  let pop () =
+    match !args with
+    | [] -> None
+    | x :: rest ->
+      args := rest;
+      Some x
+  in
+  let one_pass () =
+    let i = ref 0 in
+    while !i < n do
+      let c = fmt.[!i] in
+      if c = '\\' && !i + 1 < n then begin
+        (match fmt.[!i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | '\\' -> Buffer.add_char b '\\'
+        | other ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b other);
+        i := !i + 2
+      end
+      else if c = '%' && !i + 1 < n then begin
+        (* scan to the conversion character *)
+        let j = ref (!i + 1) in
+        while
+          !j < n
+          && not (String.contains "diufeEgGsx%" fmt.[!j])
+        do
+          incr j
+        done;
+        if !j < n && fmt.[!j] = '%' && !j = !i + 1 then Buffer.add_char b '%'
+        else if !j < n then begin
+          let spec = String.sub fmt !i (!j - !i + 1) in
+          match pop () with
+          | None -> Buffer.add_string b spec
+          | Some v -> (
+            match fmt.[!j] with
+            | 'd' | 'i' | 'u' | 'x' ->
+              Buffer.add_string b (string_of_int (V.to_int v))
+            | 's' -> Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)
+            | _ -> (
+              try
+                Buffer.add_string b
+                  (Printf.sprintf
+                     (Scanf.format_from_string spec "%f")
+                     (V.to_float v))
+              with _ ->
+                Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)))
+        end
+        else Buffer.add_char b '%';
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char b c;
+        incr i
+      end
+    done
+  in
+  one_pass ();
+  (* MATLAB recycles the format while arguments remain. *)
+  let guard = ref 0 in
+  while !args <> [] && !guard < 10000 do
+    incr guard;
+    one_pass ()
+  done;
+  Buffer.contents b
+
+let rec exec_block st (block : Mir.block) = List.iter (exec_instr st) block
+
+and exec_instr st (instr : Mir.instr) =
+  match instr with
+  | Mir.Idef (v, rv) ->
+    let value = eval_rvalue st rv in
+    let cost = Cost.def_cost st.isa st.mode rv in
+    charge st (class_of_rvalue rv) cost;
+    let sty = Mir.elem_ty v in
+    reg st v := coerce_value sty value
+  | Mir.Istore (a, idx, x) ->
+    let arr = arr st a in
+    let i = index_of st idx (Array.length arr) a.Mir.vname in
+    let s = eval_scalar st x in
+    let sty = Mir.elem_ty a in
+    arr.(i) <- V.coerce sty s;
+    charge st "mem"
+      (Cost.store_cost st.isa st.mode
+         ~cplx:(sty.Mir.cplx = Masc_sema.Mtype.Complex))
+  | Mir.Ivstore (a, base, x, lanes) ->
+    let arr = arr st a in
+    let b = index_of st base (Array.length arr) a.Mir.vname in
+    if b + lanes > Array.length arr then
+      fail "vector store past end of %s" a.Mir.vname;
+    (match eval_operand st x with
+    | Value.Vector vec when Array.length vec = lanes ->
+      let sty = Mir.elem_ty a in
+      Array.iteri (fun k s -> arr.(b + k) <- V.coerce sty s) vec
+    | Value.Vector _ -> fail "vector store width mismatch"
+    | Value.Scalar _ -> fail "vector store of a scalar");
+    charge st "simd" (Cost.vstore_cost st.isa)
+  | Mir.Iif (c, then_b, else_b) ->
+    charge st "branch" (Cost.branch_cost st.isa);
+    if V.to_bool (eval_scalar st c) then exec_block st then_b
+    else exec_block st else_b
+  | Mir.Iloop { ivar; lo; step; hi; body } ->
+    let lo_v = eval_scalar st lo in
+    let step_v = eval_scalar st step in
+    let hi_v = eval_scalar st hi in
+    let int_loop =
+      match (lo_v, step_v, hi_v) with
+      | (V.Si _ | V.Sb _), (V.Si _ | V.Sb _), (V.Si _ | V.Sb _) -> true
+      | _ -> false
+    in
+    let iv = reg st ivar in
+    let continue_loop v =
+      if int_loop then
+        if V.to_int step_v >= 0 then V.to_int v <= V.to_int hi_v
+        else V.to_int v >= V.to_int hi_v
+      else if V.to_float step_v >= 0.0 then V.to_float v <= V.to_float hi_v
+      else V.to_float v >= V.to_float hi_v
+    in
+    let next v =
+      if int_loop then V.Si (V.to_int v + V.to_int step_v)
+      else V.Sf (V.to_float v +. V.to_float step_v)
+    in
+    let rec go v =
+      if continue_loop v then begin
+        iv := Value.Scalar v;
+        charge st "loop" (Cost.loop_iter_cost st.isa);
+        (try exec_block st body with Continue_exc -> ());
+        go (next v)
+      end
+    in
+    (try go lo_v with Break_exc -> ());
+    charge st "branch" (Cost.branch_cost st.isa)
+  | Mir.Iwhile { cond_block; cond; body } ->
+    let rec go () =
+      exec_block st cond_block;
+      charge st "branch" (Cost.branch_cost st.isa);
+      if V.to_bool (eval_scalar st cond) then begin
+        (try exec_block st body with Continue_exc -> ());
+        go ()
+      end
+    in
+    (try go () with Break_exc -> ())
+  | Mir.Ibreak -> raise Break_exc
+  | Mir.Icontinue -> raise Continue_exc
+  | Mir.Ireturn -> raise Return_exc
+  | Mir.Iprint (fmt, ops) ->
+    let flat =
+      List.concat_map
+        (fun op ->
+          match op with
+          | Mir.Ovar v when Mir.is_array v -> Array.to_list (arr st v)
+          | _ -> [ eval_scalar st op ])
+        ops
+    in
+    (match fmt with
+    | Some f -> Buffer.add_string st.out (render_format f flat)
+    | None ->
+      List.iter
+        (fun s -> Buffer.add_string st.out (Format.asprintf "%a " V.pp_scalar s))
+        flat;
+      Buffer.add_char st.out '\n')
+  | Mir.Icomment text ->
+    if String.length text >= 6 && String.sub text 0 6 = "inline" then
+      charge st "call" (Cost.call_boundary_cost st.isa st.mode)
+
+let run ?(max_cycles = 4_000_000_000) ~isa ~mode (f : Mir.func)
+    (args : xvalue list) : result =
+  if List.length args <> List.length f.Mir.params then
+    fail "%s expects %d arguments, received %d" f.Mir.name
+      (List.length f.Mir.params) (List.length args);
+  let st =
+    { isa; mode; cells = Hashtbl.create 64; cycles = 0; dyn = 0; max_cycles;
+      hist = Hashtbl.create 16; out = Buffer.create 256 }
+  in
+  List.iter2
+    (fun (p : Mir.var) arg ->
+      match (p.Mir.vty, arg) with
+      | Mir.Tscalar sty, Xscalar s ->
+        Hashtbl.replace st.cells p.Mir.vid
+          (Creg (ref (Value.Scalar (V.coerce sty s))))
+      | Mir.Tarray (sty, n), Xarray a ->
+        if Array.length a <> n then
+          fail "argument %s: expected %d elements, received %d" p.Mir.vname n
+            (Array.length a);
+        Hashtbl.replace st.cells p.Mir.vid (Carr (Array.map (V.coerce sty) a))
+      | Mir.Tscalar _, Xarray _ | Mir.Tarray _, Xscalar _ ->
+        fail "argument %s: scalar/array mismatch" p.Mir.vname)
+    f.Mir.params args;
+  (try exec_block st f.Mir.body with Return_exc -> ());
+  let rets =
+    List.map
+      (fun (r : Mir.var) ->
+        match cell st r with
+        | Creg v -> Xscalar (scalar_of_value !v)
+        | Carr a -> Xarray (Array.copy a))
+      f.Mir.rets
+  in
+  { rets; cycles = st.cycles; dyn_instrs = st.dyn;
+    histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.hist []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    output = Buffer.contents st.out }
+
+let ret_floats (r : result) =
+  List.filter_map
+    (function
+      | Xarray a -> Some (Array.map V.to_float a)
+      | Xscalar s -> Some [| V.to_float s |])
+    r.rets
+
+let xarray_of_floats a = Xarray (Array.map (fun f -> V.Sf f) a)
+let xarray_of_complex a = Xarray (Array.map (fun z -> V.Sc z) a)

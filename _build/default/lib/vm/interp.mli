@@ -1,0 +1,39 @@
+(** MIR interpreter with cycle accounting — the evaluation substrate.
+
+    Executes a lowered (optionally vectorized) MIR function while
+    charging every dynamic event through {!Masc_asip.Cost_model}. This
+    stands in for the paper's ASIP and its cycle-accurate simulator: the
+    proposed compiler's output and the MATLAB-Coder-style baseline run on
+    the same core model, so their cycle ratio is the paper's speedup. *)
+
+type xvalue =
+  | Xscalar of Value.scalar
+  | Xarray of Value.scalar array
+
+type result = {
+  rets : xvalue list;
+  cycles : int;
+  dyn_instrs : int;  (** dynamic instruction count *)
+  histogram : (string * int) list;  (** cycles per instruction class *)
+  output : string;  (** text produced by disp/fprintf *)
+}
+
+exception Runtime_error of string
+
+(** [run ~isa ~mode f args] executes [f]. [args] bind to parameters by
+    position; array arguments are copied in. Raises {!Runtime_error} on
+    dynamic failures (index out of bounds, division by zero in index
+    arithmetic, cycle budget exceeded). *)
+val run :
+  ?max_cycles:int ->
+  isa:Masc_asip.Isa.t ->
+  mode:Masc_asip.Cost_model.mode ->
+  Masc_mir.Mir.func ->
+  xvalue list ->
+  result
+
+(** Convenience accessors for test code. *)
+val ret_floats : result -> float array list
+
+val xarray_of_floats : float array -> xvalue
+val xarray_of_complex : Complex.t array -> xvalue

@@ -1,0 +1,15 @@
+  $ mascc targets | grep '^target'
+  $ mascc kernels | awk '{print $1}'
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" -o fir.c --emit-header
+  $ grep -c 'vmac_f64x8' fir.c
+  $ head -c 2 masc_runtime.h
+  $ cc -std=c99 -c fir.c -o fir.o && echo compiled
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" | grep -E 'cycles:|ret0' | sed 's/ = .*/ = .../'
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" --coder | grep 'cycles:'
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" --isa tiny.isa -o fir_tiny.c > /dev/null
+  $ grep -c 't_st(' fir_tiny.c
+  $ grep -c 'masc_v2f64' fir_tiny.c
+  $ echo 'function y = f(x)
+  > y = undefined_name + 1;
+  > end' > bad.m
+  $ mascc compile bad.m --entry f --args "double"

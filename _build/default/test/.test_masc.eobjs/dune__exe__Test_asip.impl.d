@@ -1,0 +1,1 @@
+test/test_asip.ml: Alcotest List Masc_asip Masc_frontend Masc_mir Printf

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Complex Filename In_channel Lazy List Masc Masc_asip Masc_codegen Masc_kernels Masc_mir Masc_sema Masc_vm Mtype Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Char Diag Lexer List Loc Masc_frontend Parser Pretty Printf QCheck QCheck_alcotest String Token

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Complex Float Format List Masc Masc_asip Masc_kernels Masc_vectorize Masc_vm Option Printf

@@ -1,0 +1,1 @@
+test/test_masc.ml: Alcotest Test_asip Test_codegen Test_frontend Test_integration Test_kernels Test_mir Test_opt Test_sema Test_vectorize Test_vm

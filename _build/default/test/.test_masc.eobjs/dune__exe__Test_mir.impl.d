@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Complex Format Infer Masc_asip Masc_mir Masc_sema Masc_vm Mtype Printf

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Infer List Masc_asip Masc_frontend Masc_kernels Masc_mir Masc_opt Masc_sema Masc_vm Mtype Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Array Infer List Masc_frontend Masc_sema Mtype Tast

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Complex Float Hashtbl List Masc Masc_asip Masc_kernels Masc_mir Masc_sema Masc_vm Printf String

@@ -1,0 +1,12 @@
+function y = fir_filter(x, h)
+n = length(x);
+m = length(h);
+y = zeros(1, n - m + 1);
+for i = 1:n-m+1
+  acc = 0;
+  for k = 1:m
+    acc = acc + h(k) * x(i + k - 1);
+  end
+  y(i) = acc;
+end
+end

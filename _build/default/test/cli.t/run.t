@@ -1,0 +1,65 @@
+The mascc CLI lists its built-in targets:
+
+  $ mascc targets | grep '^target'
+  target scalar (scalar RISC-style core without custom instructions)
+  target dsp4 (DSP ASIP, 4-lane f64 SIMD, complex-arithmetic ISEs)
+  target dsp8 (DSP ASIP, 8-lane f64 SIMD, complex-arithmetic ISEs)
+  target dsp16 (DSP ASIP, 16-lane f64 SIMD, complex-arithmetic ISEs)
+  target dsp8_simd_only (DSP ASIP, 8-lane f64 SIMD)
+  target dsp8_cplx_only (DSP ASIP, 8-lane f64 SIMD (SIMD ISEs disabled), complex-arithmetic ISEs)
+
+Lists the bundled benchmark kernels:
+
+  $ mascc kernels | awk '{print $1}'
+  fir
+  iir
+  fft
+  matmul
+  xcorr
+  fmdemod
+
+Compiles a FIR filter to C with intrinsics:
+
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" -o fir.c --emit-header
+  wrote fir.c
+  wrote ./masc_runtime.h
+  # 1 map loop(s) and 1 reduction loop(s) vectorized; 0 cmul, 0 cmac, 0 cadd selected
+
+  $ grep -c 'vmac_f64x8' fir.c
+  1
+
+  $ head -c 2 masc_runtime.h
+  /*
+
+The generated C compiles with a host C compiler:
+
+  $ cc -std=c99 -c fir.c -o fir.o && echo compiled
+  compiled
+
+Runs on the simulator with a cycle report:
+
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" | grep -E 'cycles:|ret0' | sed 's/ = .*/ = .../'
+  ret0 = ...
+  cycles: 1285  (mode: proposed, target: dsp8)
+
+The coder baseline is slower on the same input:
+
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" --coder | grep 'cycles:'
+  cycles: 8157  (mode: coder-baseline, target: dsp8)
+
+Retargeting via a user .isa description changes the intrinsics:
+
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" --isa tiny.isa -o fir_tiny.c > /dev/null
+  $ grep -c 't_st(' fir_tiny.c
+  1
+  $ grep -c 'masc_v2f64' fir_tiny.c
+  1
+
+Bad input produces a located diagnostic:
+
+  $ echo 'function y = f(x)
+  > y = undefined_name + 1;
+  > end' > bad.m
+  $ mascc compile bad.m --entry f --args "double"
+  error: semantic analysis: line 2, columns 5-19: undefined variable 'undefined_name'
+  [1]

@@ -1,0 +1,195 @@
+(* C emission tests: structural checks on the generated code, and —
+   when a host C compiler is available — full compile-and-run
+   equivalence between the generated C and the simulator. *)
+
+open Masc_sema
+module Mir = Masc_mir.Mir
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+module C = Masc.Compiler
+module K = Masc_kernels.Kernels
+module H = Masc_codegen.Harness
+
+let compile config ~args src =
+  C.compile config ~source:src ~entry:"f" ~arg_types:args
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_c_structure_proposed () =
+  let c =
+    compile (C.proposed ())
+      ~args:[ Mtype.row_vector Mtype.Double 64; Mtype.row_vector Mtype.Double 64 ]
+      "function y = f(a, b)\ny = a .* b + 1;\nend"
+  in
+  let src = C.c_source c in
+  Alcotest.(check bool) "includes runtime" true
+    (contains ~needle:"#include \"masc_runtime.h\"" src);
+  Alcotest.(check bool) "static array params" true
+    (contains ~needle:"const double a_0[64]" src);
+  Alcotest.(check bool) "vector intrinsics used" true
+    (contains ~needle:"vmul_f64x8(" src);
+  Alcotest.(check bool) "wide loads" true (contains ~needle:"vld_f64x8(" src);
+  Alcotest.(check bool) "no bounds checks" false (contains ~needle:"masc_bc(" src)
+
+let test_c_structure_coder () =
+  let c =
+    compile (C.coder_baseline ())
+      ~args:[ Mtype.row_vector Mtype.Double 64; Mtype.row_vector Mtype.Double 64 ]
+      "function y = f(a, b)\ny = a .* b + 1;\nend"
+  in
+  let src = C.c_source c in
+  Alcotest.(check bool) "descriptor params" true
+    (contains ~needle:"masc_emx a_0" src);
+  Alcotest.(check bool) "bounds checks present" true
+    (contains ~needle:"masc_bc(" src);
+  Alcotest.(check bool) "no intrinsics" false (contains ~needle:"vmul_f64x8(" src)
+
+let test_c_complex_intrinsics () =
+  let c =
+    compile (C.proposed ()) ~args:[ Mtype.complex; Mtype.complex ]
+      "function y = f(a, b)\ny = a * b;\nend"
+  in
+  let src = C.c_source c in
+  Alcotest.(check bool) "cmul intrinsic" true (contains ~needle:"cmul_f64(" src)
+
+let test_runtime_header_self_contained () =
+  let h = Masc_codegen.Runtime.header Masc_asip.Targets.dsp8 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle h))
+    [ "typedef struct { double re, im; } masc_cplx";
+      "masc_v8f64"; "vadd_f64x8"; "vmac_f64x8"; "cmul_f64"; "masc_bc" ]
+
+(* ---- compile-and-run equivalence via the host C compiler ---- *)
+
+let cc_available =
+  lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+let run_c_program source =
+  let dir = Filename.temp_file "masc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_file = Filename.concat dir "prog.c" in
+  let exe = Filename.concat dir "prog" in
+  let oc = open_out c_file in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "cc -std=c99 -O1 -o %s %s -lm 2>%s/cc.log" exe c_file dir
+  in
+  if Sys.command cmd <> 0 then begin
+    let log = In_channel.with_open_text (dir ^ "/cc.log") In_channel.input_all in
+    Alcotest.failf "cc failed:\n%s" log
+  end;
+  let ic = Unix.open_process_in exe in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  List.rev !lines
+
+let floats_of_lines lines =
+  List.concat_map
+    (fun line ->
+      List.filter_map float_of_string_opt
+        (String.split_on_char ' ' (String.trim line)))
+    lines
+
+let sim_floats (r : I.result) =
+  List.concat_map
+    (fun ret ->
+      match ret with
+      | I.Xscalar s -> (
+        match s with
+        | V.Sc z -> [ z.Complex.re; z.Complex.im ]
+        | s -> [ V.to_float s ])
+      | I.Xarray a ->
+        Array.to_list a
+        |> List.concat_map (fun s ->
+               match s with
+               | V.Sc z -> [ z.Complex.re; z.Complex.im ]
+               | s -> [ V.to_float s ]))
+    r.I.rets
+
+let harness_inputs (k : K.kernel) =
+  List.map
+    (fun (x : I.xvalue) ->
+      match x with
+      | I.Xscalar (V.Sf f) -> H.Hscalar f
+      | I.Xscalar (V.Si i) -> H.Hscalar (float_of_int i)
+      | I.Xscalar (V.Sc z) -> H.Hcomplex z
+      | I.Xscalar (V.Sb b) -> H.Hscalar (if b then 1.0 else 0.0)
+      | I.Xarray a -> (
+        match Array.length a > 0 && (match a.(0) with V.Sc _ -> true | _ -> false) with
+        | true -> H.Hcarray (Array.map V.to_complex a)
+        | false -> H.Harray (Array.map V.to_float a)))
+    (k.K.inputs ())
+
+let check_c_matches_simulator config (k : K.kernel) =
+  if not (Lazy.force cc_available) then ()
+  else begin
+    let compiled =
+      C.compile config ~source:k.K.source ~entry:k.K.entry
+        ~arg_types:k.K.arg_types
+    in
+    let inputs = k.K.inputs () in
+    let sim = C.run compiled inputs in
+    let full =
+      H.full_program ~isa:compiled.C.config.C.isa
+        ~mode:compiled.C.config.C.mode compiled.C.mir (harness_inputs k)
+    in
+    let c_vals = floats_of_lines (run_c_program full) in
+    let sim_vals = sim_floats sim in
+    Alcotest.(check int)
+      (k.K.kname ^ " output count")
+      (List.length sim_vals) (List.length c_vals);
+    List.iteri
+      (fun i (a, b) ->
+        if not (V.close ~tol:1e-9 (V.Sf a) (V.Sf b)) then
+          Alcotest.failf "%s: C output %d: %.17g vs simulator %.17g" k.K.kname
+            i b a)
+      (List.combine sim_vals c_vals)
+  end
+
+let test_gcc_proposed_kernels () =
+  (* Smaller sizes keep the embedded-initializer C files manageable. *)
+  List.iter
+    (check_c_matches_simulator (C.proposed ()))
+    [ K.fir ~n:64 ~m:8 (); K.iir ~n:32 ~sections:2 (); K.fft ~n:32 ();
+      K.matmul ~n:6 (); K.xcorr ~n:48 ~m:8 (); K.fmdemod ~n:40 () ]
+
+let test_gcc_coder_kernels () =
+  List.iter
+    (check_c_matches_simulator (C.coder_baseline ()))
+    [ K.fir ~n:64 ~m:8 (); K.fft ~n:32 (); K.matmul ~n:6 () ]
+
+let test_gcc_widths () =
+  (* The same program retargeted across vector widths still matches. *)
+  List.iter
+    (fun isa ->
+      check_c_matches_simulator
+        (C.proposed ~isa ())
+        (K.fir ~n:64 ~m:8 ()))
+    [ Masc_asip.Targets.dsp4; Masc_asip.Targets.dsp16;
+      Masc_asip.Targets.dsp8_simd_only; Masc_asip.Targets.dsp8_cplx_only ]
+
+let suites =
+  [ ( "codegen",
+      [ Alcotest.test_case "proposed C structure" `Quick
+          test_c_structure_proposed;
+        Alcotest.test_case "coder C structure" `Quick test_c_structure_coder;
+        Alcotest.test_case "complex intrinsics in C" `Quick
+          test_c_complex_intrinsics;
+        Alcotest.test_case "runtime header" `Quick
+          test_runtime_header_self_contained;
+        Alcotest.test_case "cc run matches simulator (proposed)" `Slow
+          test_gcc_proposed_kernels;
+        Alcotest.test_case "cc run matches simulator (coder)" `Slow
+          test_gcc_coder_kernels;
+        Alcotest.test_case "cc run across widths" `Slow test_gcc_widths ] ) ]

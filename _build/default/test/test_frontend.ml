@@ -1,0 +1,330 @@
+(* Lexer and parser tests, plus the parser round-trip property. *)
+
+open Masc_frontend
+
+let kinds src =
+  List.map (fun (t : Token.t) -> t.Token.kind) (Lexer.tokenize src)
+
+let check_kinds name src expected =
+  Alcotest.(check (list string))
+    name
+    (List.map Token.describe expected)
+    (List.map Token.describe (kinds src))
+
+(* --- lexer --- *)
+
+let test_lex_numbers () =
+  check_kinds "integers and floats" "1 2.5 .5 1e3 2.5e-2 1."
+    [ NUM 1.; NUM 2.5; NUM 0.5; NUM 1000.; NUM 0.025; NUM 1.; EOF ];
+  check_kinds "imaginary" "2i 3.5j 1e2i" [ IMAG 2.; IMAG 3.5; IMAG 100.; EOF ];
+  check_kinds "number then elementwise op" "2.*x"
+    [ NUM 2.; DOTSTAR; IDENT "x"; EOF ]
+
+let test_lex_operators () =
+  check_kinds "comparisons" "a<=b~=c==d"
+    [ IDENT "a"; LE; IDENT "b"; NE; IDENT "c"; EQ; IDENT "d"; EOF ];
+  check_kinds "logical" "a&&b||c&d|e~f"
+    [ IDENT "a"; AMPAMP; IDENT "b"; BARBAR; IDENT "c"; AMP; IDENT "d"; BAR;
+      IDENT "e"; NOT; IDENT "f"; EOF ];
+  check_kinds "elementwise" "a.*b./c.\\d.^e"
+    [ IDENT "a"; DOTSTAR; IDENT "b"; DOTSLASH; IDENT "c"; DOTBACKSLASH;
+      IDENT "d"; DOTCARET; IDENT "e"; EOF ]
+
+let test_lex_quote_ambiguity () =
+  check_kinds "transpose after ident" "a'" [ IDENT "a"; QUOTE; EOF ];
+  check_kinds "transpose after paren" "(a)'"
+    [ LPAREN; IDENT "a"; RPAREN; QUOTE; EOF ];
+  check_kinds "string after assign" "x = 'ab'"
+    [ IDENT "x"; ASSIGN; STR "ab"; EOF ];
+  check_kinds "string with escaped quote" "x = 'a''b'"
+    [ IDENT "x"; ASSIGN; STR "a'b"; EOF ];
+  check_kinds "string at call" "f('s')"
+    [ IDENT "f"; LPAREN; STR "s"; RPAREN; EOF ];
+  check_kinds "double transpose" "a''" [ IDENT "a"; QUOTE; QUOTE; EOF ];
+  check_kinds "dot transpose" "a.'" [ IDENT "a"; DOTQUOTE; EOF ]
+
+let test_lex_comments_continuation () =
+  check_kinds "line comment" "a % comment\nb"
+    [ IDENT "a"; NEWLINE; IDENT "b"; EOF ];
+  check_kinds "block comment" "a\n%{\nstuff\n%}\nb"
+    [ IDENT "a"; NEWLINE; IDENT "b"; EOF ];
+  check_kinds "continuation" "a + ...\n  b" [ IDENT "a"; PLUS; IDENT "b"; EOF ];
+  check_kinds "continuation with trailing comment" "a + ... comment\nb"
+    [ IDENT "a"; PLUS; IDENT "b"; EOF ]
+
+let test_lex_newlines () =
+  check_kinds "collapsed newlines" "a\n\n\nb" [ IDENT "a"; NEWLINE; IDENT "b"; EOF ];
+  check_kinds "leading newlines dropped" "\n\na" [ IDENT "a"; EOF ]
+
+let test_lex_keywords () =
+  check_kinds "keywords" "function if elseif else for while break continue return end true false"
+    [ FUNCTION; IF; ELSEIF; ELSE; FOR; WHILE; BREAK; CONTINUE; RETURN; END;
+      TRUE; FALSE; EOF ]
+
+let test_lex_spacing_flag () =
+  let toks = Lexer.tokenize "[1 -2]" in
+  let spaced =
+    List.map (fun (t : Token.t) -> t.Token.spaced_before) toks
+  in
+  Alcotest.(check (list bool))
+    "spaced_before for [1 -2]"
+    [ false; false; true; false; false; false ]
+    spaced
+
+let test_lex_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | exception Diag.Error (Diag.Lex, _, _) -> ()
+    | _ -> Alcotest.failf "expected lex error on %S" src
+  in
+  expect_error "'unterminated";
+  expect_error "a $ b";
+  expect_error "%{ never closed"
+
+(* --- parser --- *)
+
+let roundtrip src = Pretty.expr_to_string (Parser.parse_expr src)
+
+let check_expr name src expected =
+  Alcotest.(check string) name expected (roundtrip src)
+
+let test_parse_precedence () =
+  check_expr "mul before add" "1+2*3" "1 + 2 * 3";
+  check_expr "parens preserved" "(1+2)*3" "(1 + 2) * 3";
+  check_expr "power before unary" "-2^2" "-2 ^ 2";
+  check_expr "power right operand signed" "2^-1" "2 ^ (-1)";
+  check_expr "power left assoc" "2^3^2" "2 ^ 3 ^ 2";
+  check_expr "power right nested parens kept" "2^(3^2)" "2 ^ (3 ^ 2)";
+  check_expr "colon below add" "1:n+1" "1:n + 1";
+  check_expr "colon with step" "1:2:9" "1:2:9";
+  check_expr "compare below colon" "1:3 == 2" "1:3 == 2";
+  check_expr "and/or precedence" "a || b && c" "a || b && c";
+  check_expr "elementwise" "a .* b ./ c" "a .* b ./ c";
+  check_expr "left division" "a \\ b" "a \\ b"
+
+let test_parse_postfix () =
+  check_expr "transpose" "a'" "a'";
+  check_expr "transpose of call" "f(x)'" "f(x)'";
+  check_expr "transpose binds tight" "a' * b" "a' * b";
+  check_expr "dot transpose" "a.'" "a.'";
+  check_expr "indexing" "a(1, 2)" "a(1, 2)";
+  check_expr "nested calls" "f(g(x), h(y))" "f(g(x), h(y))";
+  check_expr "colon index" "a(:, 2)" "a(:, 2)";
+  check_expr "end arithmetic" "a(end - 1)" "a(end - 1)";
+  check_expr "range index" "a(1:end)" "a(1:end)"
+
+let test_parse_matrix () =
+  check_expr "row vector" "[1, 2, 3]" "[1, 2, 3]";
+  check_expr "matrix rows" "[1 2; 3 4]" "[1, 2; 3, 4]";
+  check_expr "juxtaposed elements" "[1 2 3]" "[1, 2, 3]";
+  check_expr "space-minus is element" "[1 -2]" "[1, -2]";
+  check_expr "spaced minus is subtraction" "[1 - 2]" "[1 - 2]";
+  check_expr "tight minus is subtraction" "[1-2]" "[1 - 2]";
+  check_expr "newline rows" "[1 2\n3 4]" "[1, 2; 3, 4]";
+  check_expr "empty matrix" "[]" "[]";
+  check_expr "nested brackets" "[[1, 2], 3]" "[[1, 2], 3]";
+  check_expr "expressions inside" "[a + b, f(c)]" "[a + b, f(c)]";
+  check_expr "paren disables element break" "[(1 -2)]" "[1 - 2]"
+
+let parse_ok src =
+  try Parser.parse_program src
+  with Diag.Error _ as e -> Alcotest.failf "parse failed: %s" (Diag.to_string e)
+
+let test_parse_statements () =
+  let p = parse_ok "x = 1; y = x + 2\nz(3) = y;" in
+  (match p.Ast.funcs with
+  | [ f ] ->
+    Alcotest.(check string) "script name" "__script__" f.Ast.fname;
+    Alcotest.(check int) "three statements" 3 (List.length f.Ast.body)
+  | _ -> Alcotest.fail "expected one pseudo-function");
+  let p2 = parse_ok "if x > 0\n y = 1;\nelseif x < 0\n y = 2;\nelse\n y = 3;\nend" in
+  match (List.hd p2.Ast.funcs).Ast.body with
+  | [ { Ast.sdesc = Ast.If (arms, els); _ } ] ->
+    Alcotest.(check int) "two arms" 2 (List.length arms);
+    Alcotest.(check int) "else present" 1 (List.length els)
+  | _ -> Alcotest.fail "expected a single if statement"
+
+let test_parse_loops () =
+  let p = parse_ok "for i = 1:10\n s = s + i;\nend\nwhile s > 0\n s = s - 1;\nend" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.sdesc = Ast.For (v, _, body); _ };
+      { Ast.sdesc = Ast.While (_, wbody); _ } ] ->
+    Alcotest.(check string) "loop var" "i" v;
+    Alcotest.(check int) "for body" 1 (List.length body);
+    Alcotest.(check int) "while body" 1 (List.length wbody)
+  | _ -> Alcotest.fail "expected for then while"
+
+let test_parse_functions () =
+  let src =
+    "function y = f(x)\n y = x + 1;\nend\nfunction [a, b] = g(u, v)\n a = u; b = v;\nend\n"
+  in
+  let p = parse_ok src in
+  (match p.Ast.funcs with
+  | [ f; g ] ->
+    Alcotest.(check (list string)) "f params" [ "x" ] f.Ast.params;
+    Alcotest.(check (list string)) "f returns" [ "y" ] f.Ast.returns;
+    Alcotest.(check (list string)) "g returns" [ "a"; "b" ] g.Ast.returns;
+    Alcotest.(check (list string)) "g params" [ "u"; "v" ] g.Ast.params
+  | _ -> Alcotest.fail "expected two functions");
+  (* Function without closing end and without returns. *)
+  let p2 = parse_ok "function main()\nx = 1;\n" in
+  Alcotest.(check int) "one function" 1 (List.length p2.Ast.funcs)
+
+let test_parse_multi_assign () =
+  let p = parse_ok "[q, r] = divmod(a, b);" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.sdesc = Ast.Multi_assign (lvs, _); _ } ] ->
+    Alcotest.(check (list string))
+      "targets" [ "q"; "r" ]
+      (List.map (fun (lv : Ast.lvalue) -> lv.Ast.base) lvs)
+  | _ -> Alcotest.fail "expected a multi-assignment"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse_program src with
+    | exception Diag.Error (Diag.Parse, _, _) -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  expect_error "x = ;";
+  expect_error "if x\ny = 1;";
+  (* missing end *)
+  expect_error "1 = x;";
+  expect_error "for = 1:3\nend";
+  expect_error "x = end;"
+(* 'end' outside index *)
+
+(* --- property: pretty ∘ parse round-trip --- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let mk d = Ast.mk Loc.dummy d in
+  let leaf =
+    oneof
+      [ map (fun n -> mk (Ast.Num (float_of_int n))) (int_range 0 99);
+        map (fun v -> mk (Ast.Var v)) (oneofl [ "x"; "y"; "z"; "acc" ]);
+        return (mk (Ast.Bool true));
+        map (fun n -> mk (Ast.Imag (float_of_int n))) (int_range 1 9) ]
+  in
+  let binops =
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Emul; Ast.Ediv; Ast.Lt; Ast.Ge;
+      Ast.Eq; Ast.And; Ast.Oror; Ast.Pow ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            ( 4,
+              map3
+                (fun op a b -> mk (Ast.Binop (op, a, b)))
+                (oneofl binops) (self (n / 2)) (self (n / 2)) );
+            (1, map (fun a -> mk (Ast.Unop (Ast.Uneg, a))) (self (n - 1)));
+            ( 1,
+              map
+                (fun a -> mk (Ast.Transpose (Ast.Ctranspose, a)))
+                (self (n - 1)) );
+            ( 1,
+              map2
+                (fun f args -> mk (Ast.Apply (f, args)))
+                (oneofl [ "f"; "sin"; "zeros" ])
+                (list_size (int_range 1 3) (self (n / 3))) );
+            ( 1,
+              map2
+                (fun lo hi -> mk (Ast.Range (lo, None, hi)))
+                (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map
+                (fun rows -> mk (Ast.Matrix rows))
+                (list_size (int_range 1 2)
+                   (list_size (int_range 1 3) (self (n / 3)))) ) ])
+    5
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"pretty-print then parse is identity"
+    (QCheck.make gen_expr ~print:Pretty.expr_to_string)
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      let reparsed = Parser.parse_expr printed in
+      String.equal printed (Pretty.expr_to_string reparsed))
+
+let base_suites =
+  [ ( "lexer",
+      [ Alcotest.test_case "numbers" `Quick test_lex_numbers;
+        Alcotest.test_case "operators" `Quick test_lex_operators;
+        Alcotest.test_case "quote ambiguity" `Quick test_lex_quote_ambiguity;
+        Alcotest.test_case "comments and continuation" `Quick
+          test_lex_comments_continuation;
+        Alcotest.test_case "newlines" `Quick test_lex_newlines;
+        Alcotest.test_case "keywords" `Quick test_lex_keywords;
+        Alcotest.test_case "spacing flag" `Quick test_lex_spacing_flag;
+        Alcotest.test_case "errors" `Quick test_lex_errors ] );
+    ( "parser",
+      [ Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "postfix" `Quick test_parse_postfix;
+        Alcotest.test_case "matrix literals" `Quick test_parse_matrix;
+        Alcotest.test_case "statements" `Quick test_parse_statements;
+        Alcotest.test_case "loops" `Quick test_parse_loops;
+        Alcotest.test_case "functions" `Quick test_parse_functions;
+        Alcotest.test_case "multi-assign" `Quick test_parse_multi_assign;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        QCheck_alcotest.to_alcotest prop_roundtrip ] ) ]
+
+(* --- robustness: the front end never crashes, it diagnoses --- *)
+
+let gen_garbage : string QCheck.Gen.t =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 9 126)) (int_range 0 80))
+
+let prop_lexer_total =
+  QCheck.Test.make ~count:1000 ~name:"lexer: any input either lexes or raises Diag.Error"
+    (QCheck.make gen_garbage ~print:(Printf.sprintf "%S"))
+    (fun s ->
+      match Lexer.tokenize s with
+      | _ -> true
+      | exception Diag.Error (Diag.Lex, _, _) -> true)
+
+let gen_tokenish : string QCheck.Gen.t =
+  (* Strings over the language's own vocabulary stress the parser. *)
+  let open QCheck.Gen in
+  let word =
+    oneofl
+      [ "x"; "y"; "f"; "1"; "2.5"; "("; ")"; "["; "]"; ","; ";"; ":"; "=";
+        "+"; "-"; "*"; "/"; "'"; "end"; "for"; "if"; "else"; "while"; "\n";
+        "function"; "=="; "~="; "&&"; ".*"; "break"; "switch"; "case"; " " ]
+  in
+  map (String.concat " ") (list_size (int_range 0 30) word)
+
+let prop_parser_total =
+  QCheck.Test.make ~count:1000
+    ~name:"parser: any token soup either parses or raises Diag.Error"
+    (QCheck.make gen_tokenish ~print:(Printf.sprintf "%S"))
+    (fun s ->
+      match Parser.parse_program s with
+      | _ -> true
+      | exception Diag.Error ((Diag.Lex | Diag.Parse), _, _) -> true)
+
+let switch_parses () =
+  let p =
+    Parser.parse_program
+      "function y = f(x)\nswitch x\ncase 1\ny = 1;\ncase 2\ny = 4;\notherwise\ny = 0;\nend\nend"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.sdesc = Ast.If (arms, els); _ } ] ->
+    Alcotest.(check int) "two case arms" 2 (List.length arms);
+    Alcotest.(check bool) "otherwise present" true (els <> []);
+    (* each arm condition is scrutinee == value *)
+    List.iter
+      (fun ((cond : Ast.expr), _) ->
+        match cond.Ast.desc with
+        | Ast.Binop (Ast.Eq, _, _) -> ()
+        | _ -> Alcotest.fail "case arm is not an equality")
+      arms
+  | _ -> Alcotest.fail "switch should desugar to an if chain"
+
+let robustness_suites =
+  [ ( "frontend robustness",
+      [ QCheck_alcotest.to_alcotest prop_lexer_total;
+        QCheck_alcotest.to_alcotest prop_parser_total;
+        Alcotest.test_case "switch desugars" `Quick switch_parses ] ) ]
+
+let suites = base_suites @ robustness_suites

@@ -1,0 +1,345 @@
+(* Whole-pipeline integration tests through the Compiler driver. *)
+
+open Masc_sema
+module C = Masc.Compiler
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+module K = Masc_kernels.Kernels
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_stage_dump () =
+  let c =
+    C.compile (C.proposed ())
+      ~source:"function y = f(a, b)\ny = a .* b + 1;\nend"
+      ~entry:"f"
+      ~arg_types:
+        [ Mtype.row_vector Mtype.Double 32; Mtype.row_vector Mtype.Double 32 ]
+  in
+  let dump = C.stage_dump c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle dump))
+    [ "typed entry signature"; "MIR after lowering"; "final MIR";
+      "generated C"; "vectorized: "; "vmul_f64x8" ]
+
+let test_config_matrix () =
+  (* Every configuration (targets x opt levels x modes) compiles and
+     computes the same values on a mixed kernel. *)
+  let src =
+    "function y = f(a)\n\
+     n = length(a);\n\
+     y = zeros(1, n);\n\
+     s = 0;\n\
+     for i = 1:n\n\
+     s = s + a(i);\n\
+     end\n\
+     m = s / n;\n\
+     for i = 1:n\n\
+     y(i) = a(i) - m;\n\
+     end\nend"
+  in
+  let args = [ Mtype.row_vector Mtype.Double 40 ] in
+  let inputs = [ I.xarray_of_floats (K.randoms ~seed:99 40) ] in
+  let reference = ref None in
+  List.iter
+    (fun config ->
+      let c = C.compile config ~source:src ~entry:"f" ~arg_types:args in
+      let r = C.run c inputs in
+      match (r.I.rets, !reference) with
+      | [ I.Xarray a ], None -> reference := Some a
+      | [ I.Xarray a ], Some b ->
+        Array.iteri
+          (fun i x ->
+            if not (V.close ~tol:1e-7 x b.(i)) then
+              Alcotest.failf "config %s/%s: value mismatch at %d"
+                config.C.isa.Masc_asip.Isa.tname
+                (Masc_asip.Cost_model.mode_name config.C.mode)
+                i)
+          a
+      | _ -> Alcotest.fail "expected one array return")
+    ([ C.coder_baseline () ]
+    @ List.concat_map
+        (fun isa ->
+          List.map
+            (fun lvl -> { (C.proposed ~isa ()) with C.opt_level = lvl })
+            [ Masc_opt.Pipeline.O0; Masc_opt.Pipeline.O1; Masc_opt.Pipeline.O2 ])
+        [ Masc_asip.Targets.scalar; Masc_asip.Targets.dsp4;
+          Masc_asip.Targets.dsp8; Masc_asip.Targets.dsp16 ])
+
+let test_custom_isa_text () =
+  (* Retarget via a user-written .isa description, end to end. *)
+  let isa =
+    Masc_asip.Isa_parser.parse
+      {|target custom2
+description "user description, 2-lane SIMD"
+vector_width 2
+cost alu 1
+instr myadd simd.add lanes=2 latency=1
+instr mymul simd.mul lanes=2 latency=1
+instr myld simd.load lanes=2 latency=1
+instr myst simd.store lanes=2 latency=1
+instr mysplat simd.broadcast lanes=2 latency=1
+|}
+  in
+  let c =
+    C.compile (C.proposed ~isa ())
+      ~source:"function y = f(a)\ny = a * 2 + 1;\nend" ~entry:"f"
+      ~arg_types:[ Mtype.row_vector Mtype.Double 9 ]
+  in
+  Alcotest.(check bool) "vectorized on custom target" true
+    (c.C.vec_stats.Masc_vectorize.Vectorizer.map_loops >= 1);
+  let src = C.c_source c in
+  Alcotest.(check bool) "user intrinsic names in C" true
+    (contains ~needle:"mymul(" src);
+  let r = C.run c [ I.xarray_of_floats (Array.init 9 float_of_int) ] in
+  match r.I.rets with
+  | [ I.Xarray a ] ->
+    Array.iteri
+      (fun i s ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "y[%d]" i)
+          ((2.0 *. float_of_int i) +. 1.0)
+          (V.to_float s))
+      a
+  | _ -> Alcotest.fail "expected one array"
+
+let test_diagnostics_carry_spans () =
+  let bad = "function y = f(x)\ny = undefined_thing + 1;\nend" in
+  match
+    C.compile (C.proposed ()) ~source:bad ~entry:"f" ~arg_types:[ Mtype.double ]
+  with
+  | exception Masc_frontend.Diag.Error (Masc_frontend.Diag.Sema, span, msg) ->
+    Alcotest.(check bool) "mentions the name" true
+      (contains ~needle:"undefined_thing" msg);
+    Alcotest.(check bool) "span points at line 2" true
+      (span.Masc_frontend.Loc.start_pos.Masc_frontend.Loc.line = 2)
+  | _ -> Alcotest.fail "expected a semantic error"
+
+let test_entry_not_found () =
+  match
+    C.compile (C.proposed ()) ~source:"function y = f()\ny = 1;\nend"
+      ~entry:"nonexistent" ~arg_types:[]
+  with
+  | exception Masc_frontend.Diag.Error (Masc_frontend.Diag.Sema, _, _) -> ()
+  | _ -> Alcotest.fail "expected an error for a missing entry point"
+
+let test_cycles_scale_with_width () =
+  (* Wider SIMD must not be slower on a long map kernel. *)
+  let src = "function y = f(a, b)\ny = a .* b + a;\nend" in
+  let args =
+    [ Mtype.row_vector Mtype.Double 4096; Mtype.row_vector Mtype.Double 4096 ]
+  in
+  let inputs =
+    [ I.xarray_of_floats (K.randoms ~seed:5 4096);
+      I.xarray_of_floats (K.randoms ~seed:6 4096) ]
+  in
+  let cycles isa =
+    let c = C.compile (C.proposed ~isa ()) ~source:src ~entry:"f" ~arg_types:args in
+    (C.run c inputs).I.cycles
+  in
+  let c4 = cycles Masc_asip.Targets.dsp4 in
+  let c8 = cycles Masc_asip.Targets.dsp8 in
+  let c16 = cycles Masc_asip.Targets.dsp16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8 lanes (%d) <= 4 lanes (%d)" c8 c4)
+    true (c8 <= c4);
+  Alcotest.(check bool)
+    (Printf.sprintf "16 lanes (%d) <= 8 lanes (%d)" c16 c8)
+    true (c16 <= c8)
+
+let base_suites =
+  [ ( "integration",
+      [ Alcotest.test_case "stage dump" `Quick test_stage_dump;
+        Alcotest.test_case "config matrix equivalence" `Quick test_config_matrix;
+        Alcotest.test_case "custom .isa retargeting" `Quick test_custom_isa_text;
+        Alcotest.test_case "diagnostics carry spans" `Quick
+          test_diagnostics_carry_spans;
+        Alcotest.test_case "missing entry" `Quick test_entry_not_found;
+        Alcotest.test_case "cycles scale with width" `Quick
+          test_cycles_scale_with_width ] ) ]
+
+(* --- deeper end-to-end properties --- *)
+
+let farr = I.xarray_of_floats
+
+let run_compiled ?(config = C.proposed ()) ~args src inputs =
+  let c = C.compile config ~source:src ~entry:"f" ~arg_types:args in
+  C.run c inputs
+
+let prop_fft_parseval =
+  (* Parseval's theorem on the compiled FFT: sum |x|^2 = (1/N) sum |X|^2.
+     A strong numeric check of the whole pipeline on random inputs. *)
+  let n = 64 in
+  QCheck.Test.make ~count:25 ~name:"compiled FFT satisfies Parseval"
+    QCheck.(make Gen.(int_range 0 10_000) ~print:string_of_int)
+    (fun seed ->
+      let k = K.fft ~n () in
+      let xr = K.randoms ~seed n in
+      let xi = K.randoms ~seed:(seed + 1) n in
+      let c =
+        C.compile (C.proposed ()) ~source:k.K.source ~entry:k.K.entry
+          ~arg_types:k.K.arg_types
+      in
+      let r = C.run c [ farr xr; farr xi ] in
+      match r.I.rets with
+      | [ I.Xarray bins ] ->
+        let e_time = ref 0.0 and e_freq = ref 0.0 in
+        for i = 0 to n - 1 do
+          e_time := !e_time +. (xr.(i) *. xr.(i)) +. (xi.(i) *. xi.(i));
+          let z = V.to_complex bins.(i) in
+          e_freq := !e_freq +. Complex.norm2 z
+        done;
+        Float.abs (!e_time -. (!e_freq /. float_of_int n))
+        < 1e-9 *. Float.max 1.0 !e_time
+      | _ -> false)
+
+let prop_sort_correct =
+  QCheck.Test.make ~count:50 ~name:"compiled sort = OCaml sort"
+    QCheck.(make Gen.(pair (int_range 2 40) (int_range 0 10_000))
+              ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s))
+    (fun (n, seed) ->
+      let input = K.randoms ~seed n in
+      let src =
+        Printf.sprintf "function y = f(x)\ny = sort(x);\nend"
+      in
+      let r =
+        run_compiled
+          ~args:[ Mtype.row_vector Mtype.Double n ]
+          src [ farr input ]
+      in
+      match r.I.rets with
+      | [ I.Xarray got ] ->
+        let expected = Array.copy input in
+        Array.sort compare expected;
+        Array.for_all2
+          (fun e g -> V.close (V.Sf e) g)
+          expected got
+      | _ -> false)
+
+let test_slice_writes () =
+  (* slice store with strides, 2-D slice store, gather read *)
+  let r =
+    run_compiled
+      ~args:[ Mtype.row_vector Mtype.Double 4 ]
+      "function y = f(v)\ny = zeros(1, 8);\ny(2:2:8) = v;\nend"
+      [ farr [| 10.; 20.; 30.; 40. |] ]
+  in
+  (match r.I.rets with
+  | [ I.Xarray a ] ->
+    Alcotest.(check (array (float 1e-12)))
+      "strided slice write"
+      [| 0.; 10.; 0.; 20.; 0.; 30.; 0.; 40. |]
+      (Array.map V.to_float a)
+  | _ -> Alcotest.fail "expected array");
+  let r =
+    run_compiled ~args:[]
+      "function y = f()\ny = zeros(3, 3);\ny(2, :) = 7;\ny(:, 1) = 5;\nend"
+      []
+  in
+  (match r.I.rets with
+  | [ I.Xarray a ] ->
+    (* column-major 3x3: col1 = 5,5,5; col2 = 0,7,0; col3 = 0,7,0 *)
+    Alcotest.(check (array (float 1e-12)))
+      "2-D slice writes"
+      [| 5.; 5.; 5.; 0.; 7.; 0.; 0.; 7.; 0. |]
+      (Array.map V.to_float a)
+  | _ -> Alcotest.fail "expected array");
+  let r =
+    run_compiled
+      ~args:[ Mtype.row_vector Mtype.Double 5; Mtype.row_vector Mtype.Double 3 ]
+      "function y = f(a, idx)\ny = a(idx);\nend"
+      [ farr [| 10.; 20.; 30.; 40.; 50. |]; farr [| 4.; 1.; 5. |] ]
+  in
+  match r.I.rets with
+  | [ I.Xarray a ] ->
+    Alcotest.(check (array (float 1e-12)))
+      "gather read" [| 40.; 10.; 50. |]
+      (Array.map V.to_float a)
+  | _ -> Alcotest.fail "expected array"
+
+let test_early_return_in_callee_rejected () =
+  let src =
+    "function y = f(x)\ny = helper(x);\nend\n\
+     function r = helper(v)\nr = 0;\nif v > 0\nr = 1;\nreturn;\nend\nr = 2;\nend"
+  in
+  match
+    C.compile (C.proposed ()) ~source:src ~entry:"f" ~arg_types:[ Mtype.double ]
+  with
+  | exception Masc_frontend.Diag.Error (Masc_frontend.Diag.Lower, _, msg) ->
+    Alcotest.(check bool) "message mentions return" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "early return in inlined callee must be diagnosed"
+
+let test_extended_builtins_through_cc () =
+  (* The generated C for a program using the extended builtins compiles
+     and matches the simulator. *)
+  if Sys.command "cc --version > /dev/null 2>&1" <> 0 then ()
+  else begin
+    let src =
+      "function [s, m, p] = f(x)\n\
+       s = std(x);\n\
+       c = cumsum(sort(fliplr(x)));\n\
+       m = mean(c);\n\
+       [mx, p] = max(x);\n\
+       end"
+    in
+    let n = 17 in
+    let args = [ Mtype.row_vector Mtype.Double n ] in
+    let c = C.compile (C.proposed ()) ~source:src ~entry:"f" ~arg_types:args in
+    let input = K.randoms ~seed:123 n in
+    let sim = C.run c [ farr input ] in
+    let full =
+      Masc_codegen.Harness.full_program ~isa:c.C.config.C.isa
+        ~mode:c.C.config.C.mode c.C.mir
+        [ Masc_codegen.Harness.Harray input ]
+    in
+    let dir = Filename.temp_file "mascx" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let c_file = Filename.concat dir "p.c" in
+    let oc = open_out c_file in
+    output_string oc full;
+    close_out oc;
+    let exe = Filename.concat dir "p" in
+    Alcotest.(check int) "cc ok" 0
+      (Sys.command (Printf.sprintf "cc -std=c99 -O1 -o %s %s -lm" exe c_file));
+    let ic = Unix.open_process_in exe in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    ignore (Unix.close_process_in ic);
+    let c_vals =
+      List.rev_map (fun l -> float_of_string (String.trim l)) !lines
+    in
+    let sim_vals =
+      List.map
+        (function
+          | I.Xscalar s -> V.to_float s
+          | I.Xarray _ -> Alcotest.fail "expected scalars")
+        sim.I.rets
+    in
+    List.iteri
+      (fun i (a, b) ->
+        if not (V.close ~tol:1e-9 (V.Sf a) (V.Sf b)) then
+          Alcotest.failf "output %d: C %.17g vs sim %.17g" i b a)
+      (List.combine sim_vals c_vals)
+  end
+
+let extra_suites =
+  [ ( "end-to-end properties",
+      [ QCheck_alcotest.to_alcotest prop_fft_parseval;
+        QCheck_alcotest.to_alcotest prop_sort_correct;
+        Alcotest.test_case "slice writes and gather" `Quick test_slice_writes;
+        Alcotest.test_case "early return in callee rejected" `Quick
+          test_early_return_in_callee_rejected;
+        Alcotest.test_case "extended builtins through cc" `Slow
+          test_extended_builtins_through_cc ] ) ]
+
+let suites = base_suites @ extra_suites

@@ -1,0 +1,152 @@
+(* Benchmark-kernel integration tests: each of the six DSP kernels is
+   compiled with both the proposed flow and the coder baseline, executed
+   on the simulator, checked against the golden OCaml reference, and the
+   speedup shape of the paper (2x-30x overall) is asserted. *)
+
+module K = Masc_kernels.Kernels
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+module C = Masc.Compiler
+
+let compile_kernel config (k : K.kernel) =
+  C.compile config ~source:k.K.source ~entry:k.K.entry ~arg_types:k.K.arg_types
+
+let scalars_of = function
+  | I.Xarray a -> a
+  | I.Xscalar s -> [| s |]
+
+let check_against_golden ?(tol = 1e-6) name (k : K.kernel) config =
+  let compiled = compile_kernel config k in
+  let inputs = k.K.inputs () in
+  let result = C.run compiled inputs in
+  let expected = k.K.golden inputs in
+  List.iter2
+    (fun want got ->
+      let w = scalars_of want and g = scalars_of got in
+      Alcotest.(check int) (name ^ " length") (Array.length w) (Array.length g);
+      Array.iteri
+        (fun i x ->
+          if not (V.close ~tol x g.(i)) then
+            Alcotest.failf "%s[%d]: golden %s vs computed %s" name i
+              (Format.asprintf "%a" V.pp_scalar x)
+              (Format.asprintf "%a" V.pp_scalar g.(i)))
+        w)
+    expected result.I.rets;
+  result
+
+let test_kernel_correct (k : K.kernel) () =
+  (* Proposed flow (dsp8), proposed flow without vectorization, and the
+     coder baseline must all match the golden reference. *)
+  ignore
+    (check_against_golden (k.K.kname ^ " proposed") k (C.proposed ()));
+  ignore
+    (check_against_golden
+       (k.K.kname ^ " scalar-proposed")
+       k
+       { (C.proposed ()) with C.isa = Masc_asip.Targets.scalar;
+         vectorize = false; select_complex = false });
+  ignore
+    (check_against_golden (k.K.kname ^ " coder") k (C.coder_baseline ()))
+
+let speedup (k : K.kernel) =
+  let proposed = compile_kernel (C.proposed ()) k in
+  let baseline = compile_kernel (C.coder_baseline ()) k in
+  let inputs = k.K.inputs () in
+  let pc = (C.run proposed inputs).I.cycles in
+  let bc = (C.run baseline inputs).I.cycles in
+  float_of_int bc /. float_of_int pc
+
+let test_speedup_shape () =
+  (* The paper reports 2x-30x across the six benchmarks; assert that
+     shape: every kernel at least 1.5x, the best above 10x, overall
+     range within sane bounds. *)
+  let results =
+    List.map (fun k -> (k.K.kname, speedup k)) (K.all ())
+  in
+  List.iter
+    (fun (name, s) ->
+      if s < 1.5 then
+        Alcotest.failf "%s: speedup %.2f below the paper's band" name s;
+      if s > 100.0 then
+        Alcotest.failf "%s: speedup %.2f implausibly high" name s)
+    results;
+  let best = List.fold_left (fun m (_, s) -> Float.max m s) 0.0 results in
+  let worst = List.fold_left (fun m (_, s) -> Float.min m s) infinity results in
+  Alcotest.(check bool)
+    (Printf.sprintf "best speedup %.1f exceeds 10x" best)
+    true (best > 10.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "worst speedup %.1f below 8x (spread)" worst)
+    true (worst < 8.0)
+
+let test_vectorization_happens () =
+  (* FIR, xcorr and matmul must vectorize; fft and fmdemod must select
+     complex ISEs; iir must survive unvectorized. *)
+  let get name = Option.get (K.by_name name) in
+  let vec k =
+    (compile_kernel (C.proposed ()) k).C.vec_stats
+  in
+  let cplx k = (compile_kernel (C.proposed ()) k).C.cplx_stats in
+  Alcotest.(check bool) "fir reduction loop" true
+    ((vec (get "fir")).Masc_vectorize.Vectorizer.reduction_loops >= 1);
+  Alcotest.(check bool) "xcorr reduction loop" true
+    ((vec (get "xcorr")).Masc_vectorize.Vectorizer.reduction_loops >= 1);
+  Alcotest.(check bool) "matmul map loop" true
+    ((vec (get "matmul")).Masc_vectorize.Vectorizer.map_loops >= 1);
+  Alcotest.(check bool) "fft cmul" true
+    ((cplx (get "fft")).Masc_vectorize.Complex_sel.cmul >= 1);
+  Alcotest.(check bool) "fmdemod cmul" true
+    ((cplx (get "fmdemod")).Masc_vectorize.Complex_sel.cmul >= 1)
+
+let test_fft_golden_is_a_dft () =
+  (* Cross-check the golden FFT against a direct DFT on a small size. *)
+  let n = 16 in
+  let k = K.fft ~n () in
+  let inputs = k.K.inputs () in
+  let golden =
+    match k.K.golden inputs with
+    | [ I.Xarray a ] -> Array.map V.to_complex a
+    | _ -> Alcotest.fail "fft golden shape"
+  in
+  let xr, xi =
+    match inputs with
+    | [ I.Xarray a; I.Xarray b ] ->
+      (Array.map V.to_float a, Array.map V.to_float b)
+    | _ -> Alcotest.fail "fft inputs"
+  in
+  for f = 0 to n - 1 do
+    let acc = ref Complex.zero in
+    for t = 0 to n - 1 do
+      let ang = -2.0 *. Float.pi *. float_of_int (f * t) /. float_of_int n in
+      let w = { Complex.re = cos ang; im = sin ang } in
+      acc :=
+        Complex.add !acc
+          (Complex.mul { Complex.re = xr.(t); im = xi.(t) } w)
+    done;
+    if not (V.close ~tol:1e-8 (V.Sc !acc) (V.Sc golden.(f))) then
+      Alcotest.failf "DFT[%d] mismatch: %g%+gi vs %g%+gi" f !acc.Complex.re
+        !acc.Complex.im golden.(f).Complex.re golden.(f).Complex.im
+  done
+
+let test_sizes_parameterize () =
+  (* Shrunk kernels still pass their goldens (static-shape respecialization). *)
+  List.iter
+    (fun k ->
+      ignore (check_against_golden (k.K.kname ^ " small") k (C.proposed ())))
+    [ K.fir ~n:64 ~m:8 (); K.fft ~n:32 (); K.matmul ~n:8 ();
+      K.xcorr ~n:48 ~m:16 (); K.iir ~n:64 ~sections:2 (); K.fmdemod ~n:64 () ]
+
+let suites =
+  [ ( "kernels",
+      List.map
+        (fun k ->
+          Alcotest.test_case (k.K.kname ^ " correct") `Quick
+            (test_kernel_correct k))
+        (K.all ())
+      @ [ Alcotest.test_case "speedup shape (2x-30x)" `Slow test_speedup_shape;
+          Alcotest.test_case "vectorization/selection happens" `Quick
+            test_vectorization_happens;
+          Alcotest.test_case "fft golden matches DFT" `Quick
+            test_fft_golden_is_a_dft;
+          Alcotest.test_case "size parameterization" `Quick
+            test_sizes_parameterize ] ) ]

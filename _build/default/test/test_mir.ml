@@ -1,0 +1,416 @@
+(* Lowering + interpreter tests: run MATLAB sources end-to-end on the
+   scalar target and check computed values. *)
+
+open Masc_sema
+module Mir = Masc_mir.Mir
+module Lower = Masc_mir.Lower
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+
+let compile ?(entry = "f") ~args src =
+  Lower.lower_program (Infer.infer_source src ~entry ~arg_types:args)
+
+let run ?entry ~args src inputs =
+  let f = compile ?entry ~args src in
+  I.run ~isa:Masc_asip.Targets.scalar ~mode:Masc_asip.Cost_model.Proposed f
+    inputs
+
+let check_floats name expected (actual : V.scalar array) =
+  Alcotest.(check int)
+    (name ^ " length") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      if not (V.close (V.Sf e) actual.(i)) then
+        Alcotest.failf "%s[%d]: expected %.12g, got %s" name i e
+          (Format.asprintf "%a" V.pp_scalar actual.(i)))
+    expected
+
+let ret1_scalar r =
+  match r.I.rets with
+  | [ I.Xscalar s ] -> s
+  | _ -> Alcotest.fail "expected one scalar return"
+
+let ret1_array r =
+  match r.I.rets with
+  | [ I.Xarray a ] -> a
+  | _ -> Alcotest.fail "expected one array return"
+
+let check_scalar name expected r =
+  let s = ret1_scalar r in
+  if not (V.close (V.Sf expected) s) then
+    Alcotest.failf "%s: expected %.12g, got %s" name expected
+      (Format.asprintf "%a" V.pp_scalar s)
+
+let farr fs = I.xarray_of_floats fs
+
+let test_scalar_arith () =
+  check_scalar "arith" 11.0 (run ~args:[] "function y = f()\ny = 2 + 3 * 3;\nend" []);
+  check_scalar "division" 0.75 (run ~args:[] "function y = f()\ny = 3 / 4;\nend" []);
+  check_scalar "power" 8.0 (run ~args:[] "function y = f()\ny = 2 ^ 3;\nend" []);
+  check_scalar "precedence" 7.0
+    (run ~args:[] "function y = f()\ny = 1 + 2 * 3;\nend" []);
+  check_scalar "unary" (-5.0) (run ~args:[] "function y = f()\ny = -(2 + 3);\nend" []);
+  check_scalar "mod" 2.0 (run ~args:[] "function y = f()\ny = mod(7, 5);\nend" []);
+  check_scalar "negative mod" 3.0
+    (run ~args:[] "function y = f()\ny = mod(-7, 5);\nend" [])
+
+let test_control_flow () =
+  let src =
+    "function y = f(x)\nif x > 10\ny = 1;\nelseif x > 5\ny = 2;\nelse\ny = 3;\nend\nend"
+  in
+  check_scalar "if1" 1.0 (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 20.) ]);
+  check_scalar "if2" 2.0 (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 7.) ]);
+  check_scalar "if3" 3.0 (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 1.) ]);
+  check_scalar "for sum" 55.0
+    (run ~args:[] "function y = f()\ny = 0;\nfor i = 1:10\ny = y + i;\nend\nend" []);
+  check_scalar "for step" 25.0
+    (run ~args:[] "function y = f()\ny = 0;\nfor i = 1:2:9\ny = y + i;\nend\nend" []);
+  check_scalar "for downward" 10.0
+    (run ~args:[] "function y = f()\ny = 0;\nfor i = 4:-1:1\ny = y + i;\nend\nend" []);
+  check_scalar "while" 7.0
+    (run ~args:[]
+       "function y = f()\ny = 0;\nwhile y * y < 45\ny = y + 1;\nend\nend" []);
+  check_scalar "break" 5.0
+    (run ~args:[]
+       "function y = f()\ny = 0;\nfor i = 1:100\nif i > 5\nbreak;\nend\ny = i;\nend\nend"
+       []);
+  check_scalar "continue" 25.0
+    (run ~args:[]
+       "function y = f()\ny = 0;\nfor i = 1:10\nif mod(i, 2) == 0\ncontinue;\nend\ny = y + i;\nend\nend"
+       [])
+
+let test_arrays () =
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 4 ]
+      "function y = f(x)\ny = 2 * x + 1;\nend"
+      [ farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  check_floats "scale" [| 3.; 5.; 7.; 9. |] (ret1_array r);
+  let r =
+    run
+      ~args:
+        [ Mtype.row_vector Mtype.Double 3; Mtype.row_vector Mtype.Double 3 ]
+      "function y = f(a, b)\ny = a .* b - a;\nend"
+      [ farr [| 1.; 2.; 3. |]; farr [| 4.; 5.; 6. |] ]
+  in
+  check_floats "elementwise" [| 3.; 8.; 15. |] (ret1_array r);
+  let r =
+    run ~args:[]
+      "function y = f()\ny = zeros(1, 5);\nfor i = 1:5\ny(i) = i * i;\nend\nend"
+      []
+  in
+  check_floats "indexed store" [| 1.; 4.; 9.; 16.; 25. |] (ret1_array r);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 6 ]
+      "function y = f(x)\ny = x(2:2:end);\nend"
+      [ farr [| 1.; 2.; 3.; 4.; 5.; 6. |] ]
+  in
+  check_floats "strided slice" [| 2.; 4.; 6. |] (ret1_array r);
+  let r =
+    run ~args:[] "function y = f()\ny = [1, 2; 3, 4];\nend" []
+  in
+  (* column-major storage *)
+  check_floats "matrix literal" [| 1.; 3.; 2.; 4. |] (ret1_array r);
+  let r = run ~args:[] "function y = f()\ny = 0:3;\nend" [] in
+  check_floats "range" [| 0.; 1.; 2.; 3. |] (ret1_array r);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 4 ]
+      "function y = f(x)\ny = x;\ny(2) = 42;\nend"
+      [ farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  check_floats "copy then poke" [| 1.; 42.; 3.; 4. |] (ret1_array r)
+
+let test_matrix_ops () =
+  let r =
+    run
+      ~args:[ Mtype.matrix Mtype.Double 2 2; Mtype.matrix Mtype.Double 2 2 ]
+      "function y = f(a, b)\ny = a * b;\nend"
+      [ (* [1 2; 3 4] col-major: 1 3 2 4 *)
+        farr [| 1.; 3.; 2.; 4. |];
+        (* [5 6; 7 8] col-major: 5 7 6 8 *)
+        farr [| 5.; 7.; 6.; 8. |] ]
+  in
+  (* [19 22; 43 50] col-major: 19 43 22 50 *)
+  check_floats "matmul" [| 19.; 43.; 22.; 50. |] (ret1_array r);
+  check_scalar "dot via *" 32.0
+    (run
+       ~args:
+         [ Mtype.row_vector Mtype.Double 3; Mtype.col_vector Mtype.Double 3 ]
+       "function y = f(a, b)\ny = a * b;\nend"
+       [ farr [| 1.; 2.; 3. |]; farr [| 4.; 5.; 6. |] ]);
+  let r =
+    run
+      ~args:[ Mtype.matrix Mtype.Double 2 3 ]
+      "function y = f(a)\ny = a';\nend"
+      [ (* [1 2 3; 4 5 6] col-major: 1 4 2 5 3 6 *)
+        farr [| 1.; 4.; 2.; 5.; 3.; 6. |] ]
+  in
+  (* transpose is 3x2: [1 4; 2 5; 3 6] col-major: 1 2 3 4 5 6 *)
+  check_floats "transpose" [| 1.; 2.; 3.; 4.; 5.; 6. |] (ret1_array r);
+  check_scalar "sum" 10.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 4 ]
+       "function y = f(x)\ny = sum(x);\nend"
+       [ farr [| 1.; 2.; 3.; 4. |] ]);
+  check_scalar "max" 9.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 5 ]
+       "function y = f(x)\ny = max(x);\nend"
+       [ farr [| 3.; 9.; 1.; 7.; 2. |] ]);
+  check_scalar "mean" 2.5
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 4 ]
+       "function y = f(x)\ny = mean(x);\nend"
+       [ farr [| 1.; 2.; 3.; 4. |] ]);
+  check_scalar "dot builtin" 32.0
+    (run
+       ~args:
+         [ Mtype.row_vector Mtype.Double 3; Mtype.row_vector Mtype.Double 3 ]
+       "function y = f(a, b)\ny = dot(a, b);\nend"
+       [ farr [| 1.; 2.; 3. |]; farr [| 4.; 5.; 6. |] ])
+
+let test_complex () =
+  let r = run ~args:[] "function y = f()\ny = (1 + 2i) * (3 - 1i);\nend" [] in
+  (match ret1_scalar r with
+  | V.Sc z ->
+    Alcotest.(check (float 1e-9)) "re" 5.0 z.Complex.re;
+    Alcotest.(check (float 1e-9)) "im" 5.0 z.Complex.im
+  | _ -> Alcotest.fail "expected complex");
+  check_scalar "abs of complex" 5.0
+    (run ~args:[] "function y = f()\ny = abs(3 + 4i);\nend" []);
+  check_scalar "real part" 3.0
+    (run ~args:[] "function y = f()\ny = real(3 + 4i);\nend" []);
+  check_scalar "conj flips" (-4.0)
+    (run ~args:[] "function y = f()\ny = imag(conj(3 + 4i));\nend" []);
+  (* exp(i*pi) = -1 *)
+  check_scalar "euler" (-1.0)
+    (run ~args:[] "function y = f()\ny = real(exp(1i * pi));\nend" [])
+
+let test_functions_inline () =
+  let src =
+    "function y = f(x)\n\
+     y = sq(x) + sq(x + 1);\n\
+     end\n\
+     function r = sq(v)\n\
+     r = v * v;\n\
+     end"
+  in
+  check_scalar "inlined calls" 25.0
+    (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 3.) ]);
+  (* Array argument is not corrupted by callee-local writes. *)
+  let src2 =
+    "function y = f(x)\n\
+     s = total(x);\n\
+     y = s + x(1);\n\
+     end\n\
+     function s = total(v)\n\
+     v(1) = 100;\n\
+     s = sum(v);\n\
+     end"
+  in
+  check_scalar "value semantics on mutation" 110.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 3 ]
+       src2
+       [ farr [| 1.; 4.; 5. |] ])
+
+let test_print () =
+  let r =
+    run ~args:[]
+      "function y = f()\ny = 3;\nfprintf('val=%d times %.1f\\n', 3, 2.5);\nend"
+      []
+  in
+  Alcotest.(check string) "fprintf output" "val=3 times 2.5\n" r.I.output
+
+let test_cycle_accounting () =
+  (* Proposed-mode costs on the scalar ISA: every executed instruction
+     charges > 0 except moves; a bigger loop costs more. *)
+  let cost n =
+    let src =
+      Printf.sprintf
+        "function y = f(x)\ny = 0;\nfor i = 1:%d\ny = y + x(i);\nend\nend" n
+    in
+    let r =
+      run
+        ~args:[ Mtype.row_vector Mtype.Double 64 ]
+        src
+        [ farr (Array.init 64 float_of_int) ]
+    in
+    r.I.cycles
+  in
+  let c16 = cost 16 and c64 = cost 64 in
+  Alcotest.(check bool) "cycles grow with work" true (c64 > c16);
+  Alcotest.(check bool)
+    "roughly linear" true
+    (float_of_int c64 /. float_of_int c16 > 3.0)
+
+let test_coder_mode_slower () =
+  let src =
+    "function y = f(x)\ny = 0;\nfor i = 1:64\ny = y + x(i) * x(i);\nend\nend"
+  in
+  let f = compile ~args:[ Mtype.row_vector Mtype.Double 64 ] src in
+  let inputs = [ farr (Array.init 64 float_of_int) ] in
+  let run mode =
+    (I.run ~isa:Masc_asip.Targets.scalar ~mode f inputs).I.cycles
+  in
+  let proposed = run Masc_asip.Cost_model.Proposed in
+  let coder = run Masc_asip.Cost_model.Coder in
+  Alcotest.(check bool)
+    (Printf.sprintf "coder (%d) slower than proposed (%d)" coder proposed)
+    true (coder > proposed)
+
+let base_suites =
+  [ ( "lower+interp",
+      [ Alcotest.test_case "scalar arithmetic" `Quick test_scalar_arith;
+        Alcotest.test_case "control flow" `Quick test_control_flow;
+        Alcotest.test_case "arrays" `Quick test_arrays;
+        Alcotest.test_case "matrix ops" `Quick test_matrix_ops;
+        Alcotest.test_case "complex" `Quick test_complex;
+        Alcotest.test_case "function inlining" `Quick test_functions_inline;
+        Alcotest.test_case "printing" `Quick test_print;
+        Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+        Alcotest.test_case "coder mode slower" `Quick test_coder_mode_slower ] ) ]
+
+
+
+(* --- extended builtins and switch statement --- *)
+
+let test_new_builtins () =
+  check_scalar "norm" 5.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 2 ]
+       "function y = f(x)\ny = norm(x);\nend"
+       [ farr [| 3.; 4. |] ]);
+  check_scalar "norm complex" 5.0
+    (run ~args:[]
+       "function y = f()\nv = [3i, 4];\ny = norm(v);\nend" []);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 4 ]
+      "function y = f(x)\ny = cumsum(x);\nend"
+      [ farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  check_floats "cumsum" [| 1.; 3.; 6.; 10. |] (ret1_array r);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 4 ]
+      "function y = f(x)\ny = fliplr(x);\nend"
+      [ farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  check_floats "fliplr" [| 4.; 3.; 2.; 1. |] (ret1_array r);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 2 ]
+      "function y = f(x)\ny = repmat(x, 1, 3);\nend"
+      [ farr [| 7.; 8. |] ]
+  in
+  check_floats "repmat" [| 7.; 8.; 7.; 8.; 7.; 8. |] (ret1_array r);
+  check_scalar "any true" 1.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 3 ]
+       "function y = f(x)\nif any(x > 2)\ny = 1;\nelse\ny = 0;\nend\nend"
+       [ farr [| 1.; 2.; 3. |] ]);
+  check_scalar "all false" 0.0
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 3 ]
+       "function y = f(x)\nif all(x > 2)\ny = 1;\nelse\ny = 0;\nend\nend"
+       [ farr [| 1.; 2.; 3. |] ]);
+  check_scalar "var" 2.5
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 5 ]
+       "function y = f(x)\ny = var(x);\nend"
+       [ farr [| 1.; 2.; 3.; 4.; 5. |] ]);
+  check_scalar "std" (sqrt 2.5)
+    (run
+       ~args:[ Mtype.row_vector Mtype.Double 5 ]
+       "function y = f(x)\ny = std(x);\nend"
+       [ farr [| 1.; 2.; 3.; 4.; 5. |] ]);
+  let r =
+    run
+      ~args:[ Mtype.row_vector Mtype.Double 6 ]
+      "function y = f(x)\ny = sort(x);\nend"
+      [ farr [| 3.; 1.; 4.; 1.; 5.; 9. |] ]
+  in
+  check_floats "sort" [| 1.; 1.; 3.; 4.; 5.; 9. |] (ret1_array r)
+
+let test_minmax_with_index () =
+  let src = "function [m, i] = f(x)\n[m, i] = max(x);\nend" in
+  let r =
+    run ~args:[ Mtype.row_vector Mtype.Double 5 ] src
+      [ farr [| 3.; 9.; 1.; 9.; 2. |] ]
+  in
+  (match r.I.rets with
+  | [ I.Xscalar m; I.Xscalar i ] ->
+    Alcotest.(check bool) "max value" true (V.close (V.Sf 9.0) m);
+    Alcotest.(check int) "first max position (1-based)" 2 (V.to_int i)
+  | _ -> Alcotest.fail "expected two scalars");
+  let src = "function [m, i] = f(x)\n[m, i] = min(x);\nend" in
+  let r =
+    run ~args:[ Mtype.row_vector Mtype.Double 4 ] src
+      [ farr [| 3.; 0.5; 1.; 2. |] ]
+  in
+  match r.I.rets with
+  | [ I.Xscalar m; I.Xscalar i ] ->
+    Alcotest.(check bool) "min value" true (V.close (V.Sf 0.5) m);
+    Alcotest.(check int) "min position" 2 (V.to_int i)
+  | _ -> Alcotest.fail "expected two scalars"
+
+let test_scalar_degenerate_builtins () =
+  (* 1x1 "vectors": builtins degenerate to identities / scalar forms. *)
+  check_scalar "sort of scalar" 5.0
+    (run ~args:[ Mtype.double ] "function y = f(x)\ny = sort(x);\nend"
+       [ I.Xscalar (V.Sf 5.) ]);
+  check_scalar "cumsum of scalar" 5.0
+    (run ~args:[ Mtype.double ] "function y = f(x)\ny = cumsum(x);\nend"
+       [ I.Xscalar (V.Sf 5.) ]);
+  check_scalar "max of scalar" 5.0
+    (run ~args:[ Mtype.double ] "function y = f(x)\ny = max(x);\nend"
+       [ I.Xscalar (V.Sf 5.) ]);
+  check_scalar "norm of scalar" 5.0
+    (run ~args:[ Mtype.double ] "function y = f(x)\ny = norm(x);\nend"
+       [ I.Xscalar (V.Sf (-5.)) ]);
+  check_scalar "dot of scalars" 12.0
+    (run
+       ~args:[ Mtype.double; Mtype.double ]
+       "function y = f(a, b)\ny = dot(a, b);\nend"
+       [ I.Xscalar (V.Sf 3.); I.Xscalar (V.Sf 4.) ]);
+  check_scalar "any of scalar" 1.0
+    (run ~args:[ Mtype.double ]
+       "function y = f(x)\nif any(x)\ny = 1;\nelse\ny = 0;\nend\nend"
+       [ I.Xscalar (V.Sf 2.) ])
+
+let test_switch () =
+  let src =
+    "function y = f(x)\n\
+     switch x\n\
+     case 1\n\
+     y = 10;\n\
+     case 2\n\
+     y = 20;\n\
+     otherwise\n\
+     y = -1;\n\
+     end\nend"
+  in
+  check_scalar "case 1" 10.0 (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 1.) ]);
+  check_scalar "case 2" 20.0 (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 2.) ]);
+  check_scalar "otherwise" (-1.0)
+    (run ~args:[ Mtype.double ] src [ I.Xscalar (V.Sf 7.) ]);
+  (* switch without otherwise leaves the variable untouched *)
+  let src2 =
+    "function y = f(x)\ny = 0;\nswitch x\ncase 5\ny = 1;\nend\nend"
+  in
+  check_scalar "no match" 0.0 (run ~args:[ Mtype.double ] src2 [ I.Xscalar (V.Sf 3.) ])
+
+let extended_suites =
+  [ ( "extended builtins",
+      [ Alcotest.test_case "norm/cumsum/flip/repmat/any/all/var/std/sort"
+          `Quick test_new_builtins;
+        Alcotest.test_case "[m,i] = max(x)" `Quick test_minmax_with_index;
+        Alcotest.test_case "scalar-degenerate builtins" `Quick
+          test_scalar_degenerate_builtins;
+        Alcotest.test_case "switch statement" `Quick test_switch ] ) ]
+
+let suites = base_suites @ extended_suites

@@ -1,0 +1,340 @@
+(* Optimizer pass tests: structural effects of each pass, and the
+   semantic-preservation property on random programs. *)
+
+open Masc_sema
+module Mir = Masc_mir.Mir
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+
+let lower ~args src =
+  Masc_mir.Lower.lower_program (Infer.infer_source src ~entry:"f" ~arg_types:args)
+
+let instr_count f =
+  let n = ref 0 in
+  Masc_opt.Rewrite.iter_instrs (fun _ -> incr n) f;
+  !n
+
+let count_matching pred f =
+  let n = ref 0 in
+  Masc_opt.Rewrite.iter_instrs (fun i -> if pred i then incr n) f;
+  !n
+
+let run_scalar f inputs =
+  I.run ~isa:Masc_asip.Targets.scalar ~mode:Masc_asip.Cost_model.Proposed f
+    inputs
+
+let test_const_fold () =
+  let f = lower ~args:[] "function y = f()\ny = 2 + 3 * 4 - 1;\nend" in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  (* after folding, the function is a single move of 13 *)
+  let folded =
+    count_matching
+      (function
+        | Mir.Idef (_, Mir.Rmove (Mir.Oconst (Mir.Ci 13))) -> true
+        | _ -> false)
+      f'
+  in
+  Alcotest.(check bool) "folded to 13" true (folded >= 1);
+  let r = run_scalar f' [] in
+  match r.I.rets with
+  | [ I.Xscalar s ] -> Alcotest.(check bool) "value" true (V.close (V.Si 13) s)
+  | _ -> Alcotest.fail "expected scalar"
+
+let test_math_fold () =
+  let f = lower ~args:[] "function y = f()\ny = sqrt(16) + cos(0);\nend" in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  let math_calls =
+    count_matching
+      (function Mir.Idef (_, Mir.Rmath _) -> true | _ -> false)
+      f'
+  in
+  Alcotest.(check int) "no math calls remain" 0 math_calls
+
+let test_dce_removes_dead () =
+  let f =
+    lower ~args:[ Mtype.double ]
+      "function y = f(x)\ndead = x * 42;\ny = x + 1;\nend"
+  in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  let mul42 =
+    count_matching
+      (function
+        | Mir.Idef (_, Mir.Rbin (Mir.Bmul, _, Mir.Oconst (Mir.Ci 42))) -> true
+        | _ -> false)
+      f'
+  in
+  Alcotest.(check int) "dead multiply removed" 0 mul42
+
+let test_dce_removes_dead_array () =
+  let f =
+    lower ~args:[ Mtype.double ]
+      "function y = f(x)\ndead = zeros(1, 100);\ny = x;\nend"
+  in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  let stores = count_matching (function Mir.Istore _ -> true | _ -> false) f' in
+  Alcotest.(check int) "dead array fill removed" 0 stores
+
+let test_cse_merges () =
+  let f =
+    lower
+      ~args:[ Mtype.double; Mtype.double ]
+      "function y = f(a, b)\ny = (a * b + 1) * (a * b + 1);\nend"
+  in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  let muls =
+    count_matching
+      (function
+        | Mir.Idef (_, Mir.Rbin (Mir.Bmul, _, _)) -> true
+        | _ -> false)
+      f'
+  in
+  (* a*b once, then squared once: two multiplies, not three *)
+  Alcotest.(check int) "a*b computed once" 2 muls
+
+let test_licm_hoists () =
+  let f =
+    lower
+      ~args:[ Mtype.double; Mtype.row_vector Mtype.Double 16 ]
+      "function y = f(c, x)\n\
+       y = zeros(1, 16);\n\
+       for i = 1:16\n\
+       y(i) = x(i) * (c * 3);\n\
+       end\nend"
+  in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  (* the c*3 multiply must be outside every loop *)
+  let in_loop = ref 0 in
+  let rec scan in_l block =
+    List.iter
+      (fun (i : Mir.instr) ->
+        match i with
+        | Mir.Idef (_, Mir.Rbin (Mir.Bmul, _, Mir.Oconst (Mir.Ci 3)))
+        | Mir.Idef (_, Mir.Rbin (Mir.Bmul, Mir.Oconst (Mir.Ci 3), _)) ->
+          if in_l then incr in_loop
+        | Mir.Iloop l -> scan true l.Mir.body
+        | Mir.Iif (_, t, e) ->
+          scan in_l t;
+          scan in_l e
+        | _ -> ())
+      block
+  in
+  scan false f'.Mir.body;
+  Alcotest.(check int) "invariant multiply hoisted" 0 !in_loop
+
+let test_global_const () =
+  let f =
+    lower
+      ~args:[ Mtype.row_vector Mtype.Double 24 ]
+      "function y = f(x)\nn = length(x);\ny = 0;\nfor i = 1:n\ny = y + x(i);\nend\nend"
+  in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  (* the loop bound must be the literal 24 after propagation *)
+  let const_bound = ref false in
+  Masc_opt.Rewrite.iter_instrs
+    (function
+      | Mir.Iloop { hi = Mir.Oconst (Mir.Ci 24); _ } -> const_bound := true
+      | _ -> ())
+    f';
+  Alcotest.(check bool) "loop bound is a literal" true !const_bound
+
+let test_o2_reduces_work () =
+  let src =
+    "function y = f(a)\n\
+     n = length(a);\n\
+     y = zeros(1, n);\n\
+     for i = 1:n\n\
+     y(i) = a(i) * 2 + a(i) * 2;\n\
+     end\nend"
+  in
+  let f = lower ~args:[ Mtype.row_vector Mtype.Double 50 ] src in
+  let o0 = run_scalar f [ I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:9 50) ] in
+  let f2 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  let o2 = run_scalar f2 [ I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:9 50) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "O2 (%d) cheaper than O0 (%d)" o2.I.cycles o0.I.cycles)
+    true
+    (o2.I.cycles < o0.I.cycles);
+  (* and observably equal *)
+  match (o0.I.rets, o2.I.rets) with
+  | [ I.Xarray a ], [ I.Xarray b ] ->
+    Array.iteri
+      (fun i x ->
+        if not (V.close x b.(i)) then Alcotest.failf "mismatch at %d" i)
+      a
+  | _ -> Alcotest.fail "expected arrays"
+
+(* --- property: optimization preserves semantics on random programs --- *)
+
+let gen_program : (string * int) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 4 24 in
+  let* num_stmts = int_range 1 6 in
+  let var i = Printf.sprintf "v%d" i in
+  let rec build i acc =
+    if i >= num_stmts then return (List.rev acc)
+    else
+      let prior = "x" :: List.init i var in
+      let* src1 = oneofl prior in
+      let* src2 = oneofl prior in
+      let* c = int_range (-3) 9 in
+      let* shape =
+        oneofl
+          [ Printf.sprintf "%s = %s + %s * %d;" (var i) src1 src2 c;
+            Printf.sprintf "%s = %s .* %s - %d;" (var i) src1 src2 c;
+            Printf.sprintf "%s = sum(%s) + %s;" (var i) src1 src2;
+            Printf.sprintf "%s = %s;\nfor i = 1:%d\n%s(i) = %s(i) + %d;\nend"
+              (var i) src1 n (var i) (var i) c;
+            Printf.sprintf
+              "if max(%s) > 0\n%s = %s + 1;\nelse\n%s = %s - 1;\nend" src1
+              (var i) src1 (var i) src2 ]
+      in
+      build (i + 1) (shape :: acc)
+  in
+  let* stmts = build 0 [] in
+  let body = String.concat "\n" stmts in
+  let last = if num_stmts = 0 then "x" else var (num_stmts - 1) in
+  return
+    ( Printf.sprintf "function y = f(x)\n%s\ny = %s;\nend" body last,
+      n )
+
+let prop_opt_preserves =
+  QCheck.Test.make ~count:150
+    ~name:"O2 optimization preserves program results"
+    (QCheck.make gen_program ~print:(fun (s, n) -> Printf.sprintf "n=%d\n%s" n s))
+    (fun (src, n) ->
+      let args = [ Mtype.row_vector Mtype.Double n ] in
+      match lower ~args src with
+      | exception Masc_frontend.Diag.Error _ -> QCheck.assume_fail ()
+      | f ->
+        let f2 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+        let inputs = [ I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:n n) ] in
+        let r0 = run_scalar f inputs in
+        let r2 = run_scalar f2 inputs in
+        List.for_all2
+          (fun a b ->
+            match (a, b) with
+            | I.Xarray x, I.Xarray y ->
+              Array.length x = Array.length y
+              && Array.for_all2 (fun p q -> V.close p q) x y
+            | I.Xscalar x, I.Xscalar y -> V.close x y
+            | _ -> false)
+          r0.I.rets r2.I.rets)
+
+let prop_opt_never_slower =
+  QCheck.Test.make ~count:80 ~name:"O2 never costs more cycles than O0"
+    (QCheck.make gen_program ~print:(fun (s, n) -> Printf.sprintf "n=%d\n%s" n s))
+    (fun (src, n) ->
+      let args = [ Mtype.row_vector Mtype.Double n ] in
+      match lower ~args src with
+      | exception Masc_frontend.Diag.Error _ -> QCheck.assume_fail ()
+      | f ->
+        let f2 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+        let inputs = [ I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:n n) ] in
+        (run_scalar f2 inputs).I.cycles <= (run_scalar f inputs).I.cycles)
+
+let base_suites =
+  [ ( "optimizer",
+      [ Alcotest.test_case "constant folding" `Quick test_const_fold;
+        Alcotest.test_case "math folding" `Quick test_math_fold;
+        Alcotest.test_case "dce scalars" `Quick test_dce_removes_dead;
+        Alcotest.test_case "dce arrays" `Quick test_dce_removes_dead_array;
+        Alcotest.test_case "cse" `Quick test_cse_merges;
+        Alcotest.test_case "licm" `Quick test_licm_hoists;
+        Alcotest.test_case "global constants" `Quick test_global_const;
+        Alcotest.test_case "O2 reduces cycles" `Quick test_o2_reduces_work;
+        QCheck_alcotest.to_alcotest prop_opt_preserves;
+        QCheck_alcotest.to_alcotest prop_opt_never_slower ] ) ]
+
+(* --- loop fusion and pow strength reduction --- *)
+
+let count_loops f =
+  count_matching (function Mir.Iloop _ -> true | _ -> false) f
+
+let test_fusion_merges_elementwise_chain () =
+  (* y = a + b; z = y .* c produces two loops through a temp; fusion +
+     store-forwarding + DCE collapse them into one loop with no temp. *)
+  let src =
+    "function z = f(a, b, c)\ny = a + b;\nz = y .* c;\nend"
+  in
+  let args = List.init 3 (fun _ -> Mtype.row_vector Mtype.Double 32) in
+  let f = lower ~args src in
+  let o1 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  let o2 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  Alcotest.(check bool)
+    (Printf.sprintf "O2 has fewer loops (%d vs %d)" (count_loops o2)
+       (count_loops o1))
+    true
+    (count_loops o2 < count_loops o1);
+  (* semantics preserved *)
+  let inputs =
+    List.map
+      (fun seed -> I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed 32))
+      [ 1; 2; 3 ]
+  in
+  let r1 = run_scalar f inputs in
+  let r2 = run_scalar o2 inputs in
+  (match (r1.I.rets, r2.I.rets) with
+  | [ I.Xarray a ], [ I.Xarray b ] ->
+    Array.iteri
+      (fun i x ->
+        if not (V.close x b.(i)) then Alcotest.failf "fusion broke value %d" i)
+      a
+  | _ -> Alcotest.fail "expected arrays");
+  Alcotest.(check bool)
+    (Printf.sprintf "fused is cheaper (%d vs %d)" r2.I.cycles r1.I.cycles)
+    true
+    (r2.I.cycles < r1.I.cycles)
+
+let test_fusion_respects_dependences () =
+  (* The second loop reads y at a shifted index: fusing would change
+     results, so the loop count must stay the same and values hold. *)
+  let src =
+    "function z = f(a)\n\
+     y = zeros(1, 16);\n\
+     z = zeros(1, 16);\n\
+     for i = 1:16\ny(i) = a(i) * 2;\nend\n\
+     for i = 1:16\n\
+     if i > 1\nz(i) = y(i - 1);\nelse\nz(i) = 0;\nend\n\
+     end\nend"
+  in
+  let args = [ Mtype.row_vector Mtype.Double 16 ] in
+  let f = lower ~args src in
+  let o2 = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O2 f in
+  let inputs = [ I.xarray_of_floats (Array.init 16 float_of_int) ] in
+  let r0 = run_scalar f inputs in
+  let r2 = run_scalar o2 inputs in
+  match (r0.I.rets, r2.I.rets) with
+  | [ I.Xarray a ], [ I.Xarray b ] ->
+    Array.iteri
+      (fun i x ->
+        if not (V.close x b.(i)) then
+          Alcotest.failf "dependence broken at %d" i)
+      a
+  | _ -> Alcotest.fail "expected arrays"
+
+let test_pow_strength_reduction () =
+  let f = lower ~args:[ Mtype.double ] "function y = f(x)\ny = x ^ 2;\nend" in
+  let f' = Masc_opt.Pipeline.optimize Masc_opt.Pipeline.O1 f in
+  let pows =
+    count_matching
+      (function
+        | Mir.Idef (_, Mir.Rbin (Mir.Bpow, _, _)) -> true
+        | _ -> false)
+      f'
+  in
+  Alcotest.(check int) "x^2 has no pow" 0 pows;
+  let r = run_scalar f' [ I.Xscalar (V.Sf 7.0) ] in
+  match r.I.rets with
+  | [ I.Xscalar s ] -> Alcotest.(check bool) "49" true (V.close (V.Sf 49.0) s)
+  | _ -> Alcotest.fail "expected scalar"
+
+let fusion_suites =
+  [ ( "fusion+peepholes",
+      [ Alcotest.test_case "fusion merges chains" `Quick
+          test_fusion_merges_elementwise_chain;
+        Alcotest.test_case "fusion respects dependences" `Quick
+          test_fusion_respects_dependences;
+        Alcotest.test_case "x^2 strength reduction" `Quick
+          test_pow_strength_reduction ] ) ]
+
+let suites = base_suites @ fusion_suites

@@ -1,0 +1,256 @@
+(* Simulator unit tests: scalar value semantics, intrinsic execution,
+   error behaviour, histogram and verification. *)
+
+module Mir = Masc_mir.Mir
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+module T = Masc_asip.Targets
+
+let test_value_coercions () =
+  Alcotest.(check bool) "int to float" true (V.to_float (V.Si 3) = 3.0);
+  Alcotest.(check bool) "bool to int" true (V.to_int (V.Sb true) = 1);
+  Alcotest.(check bool) "float rounds to int" true (V.to_int (V.Sf 2.6) = 3);
+  Alcotest.(check bool) "coerce to complex" true
+    (V.coerce Mir.complex_sty (V.Sf 2.0) = V.Sc { Complex.re = 2.0; im = 0.0 });
+  Alcotest.(check bool) "coerce to bool" true
+    (V.coerce Mir.bool_sty (V.Sf 0.0) = V.Sb false);
+  match V.coerce Mir.int_sty (V.Sc Complex.one) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "complex into int must fail"
+
+let test_value_binops () =
+  let f op a b = V.binop op a b in
+  Alcotest.(check bool) "int add stays int" true (f Mir.Badd (V.Si 2) (V.Si 3) = V.Si 5);
+  Alcotest.(check bool) "div always float" true
+    (f Mir.Bdiv (V.Si 3) (V.Si 4) = V.Sf 0.75);
+  Alcotest.(check bool) "idiv" true (f Mir.Bidiv (V.Si 7) (V.Si 2) = V.Si 3);
+  Alcotest.(check bool) "matlab mod sign" true
+    (f Mir.Bmod (V.Si (-7)) (V.Si 5) = V.Si 3);
+  Alcotest.(check bool) "complex add" true
+    (f Mir.Badd (V.Sc Complex.one) (V.Sf 1.0) = V.Sc { Complex.re = 2.0; im = 0.0 });
+  Alcotest.(check bool) "comparison" true (f Mir.Blt (V.Si 1) (V.Sf 1.5) = V.Sb true);
+  match f Mir.Blt (V.Sc Complex.one) (V.Si 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ordering on complex must fail"
+
+let test_value_math () =
+  Alcotest.(check (float 1e-12)) "sqrt" 3.0 (V.to_float (V.math "sqrt" [ V.Sf 9.0 ]));
+  Alcotest.(check (float 1e-12)) "atan2" (Float.pi /. 4.0)
+    (V.to_float (V.math "atan2" [ V.Sf 1.0; V.Sf 1.0 ]));
+  (match V.math "exp" [ V.Sc { Complex.re = 0.0; im = Float.pi } ] with
+  | V.Sc z -> Alcotest.(check (float 1e-12)) "exp(i pi)" (-1.0) z.Complex.re
+  | _ -> Alcotest.fail "complex exp");
+  match V.math "nonsense" [ V.Sf 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown math must fail"
+
+(* Build a tiny MIR function by hand to exercise the interpreter
+   surface directly. *)
+let hand_built_vector_function () =
+  let arr = { Mir.vname = "a"; vid = 0; vty = Mir.Tarray (Mir.double_sty, 8) } in
+  let out = { Mir.vname = "y"; vid = 1; vty = Mir.Tarray (Mir.double_sty, 8) } in
+  let vec_ty = Mir.Tscalar { Mir.base = Masc_sema.Mtype.Double; cplx = Masc_sema.Mtype.Real; lanes = 8 } in
+  let v1 = { Mir.vname = "v"; vid = 2; vty = vec_ty } in
+  let v2 = { Mir.vname = "w"; vid = 3; vty = vec_ty } in
+  let body =
+    [ Mir.Idef (v1, Mir.Rvload (arr, Mir.Oconst (Mir.Ci 0), 8));
+      Mir.Idef (v2, Mir.Rintrin ("vadd_f64x8", [ Mir.Ovar v1; Mir.Ovar v1 ]));
+      Mir.Ivstore (out, Mir.Oconst (Mir.Ci 0), Mir.Ovar v2, 8) ]
+  in
+  { Mir.name = "vecfn"; params = [ arr ]; rets = [ out ];
+    vars = [ arr; out; v1; v2 ]; body }
+
+let test_vector_execution () =
+  let f = hand_built_vector_function () in
+  Masc_mir.Verify.check f;
+  let input = I.xarray_of_floats (Array.init 8 float_of_int) in
+  let r = I.run ~isa:T.dsp8 ~mode:Masc_asip.Cost_model.Proposed f [ input ] in
+  match r.I.rets with
+  | [ I.Xarray a ] ->
+    Array.iteri
+      (fun i s ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "lane %d" i)
+          (2.0 *. float_of_int i)
+          (V.to_float s))
+      a
+  | _ -> Alcotest.fail "expected one array"
+
+let test_missing_intrinsic_fails () =
+  let f = hand_built_vector_function () in
+  let input = I.xarray_of_floats (Array.init 8 float_of_int) in
+  match I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [ input ] with
+  | exception I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "scalar target must reject vector intrinsics"
+
+let test_bounds_checking () =
+  let arr = { Mir.vname = "a"; vid = 0; vty = Mir.Tarray (Mir.double_sty, 4) } in
+  let y = { Mir.vname = "y"; vid = 1; vty = Mir.Tscalar Mir.double_sty } in
+  let f =
+    { Mir.name = "oob"; params = [ arr ]; rets = [ y ]; vars = [ arr; y ];
+      body = [ Mir.Idef (y, Mir.Rload (arr, Mir.Oconst (Mir.Ci 9))) ] }
+  in
+  let input = I.xarray_of_floats [| 1.; 2.; 3.; 4. |] in
+  match I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [ input ] with
+  | exception I.Runtime_error msg ->
+    Alcotest.(check bool) "mentions bounds" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected out-of-bounds error"
+
+let test_cycle_budget () =
+  let y = { Mir.vname = "y"; vid = 0; vty = Mir.Tscalar Mir.double_sty } in
+  let cond = { Mir.vname = "c"; vid = 1; vty = Mir.Tscalar Mir.bool_sty } in
+  (* infinite while loop *)
+  let f =
+    { Mir.name = "spin"; params = []; rets = [ y ]; vars = [ y; cond ];
+      body =
+        [ Mir.Iwhile
+            { cond_block = [ Mir.Idef (cond, Mir.Rmove (Mir.Oconst (Mir.Cb true))) ];
+              cond = Mir.Ovar cond;
+              body = [ Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar y, Mir.Oconst (Mir.Cf 1.0))) ] } ] }
+  in
+  match I.run ~max_cycles:10_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
+  | exception I.Runtime_error msg ->
+    Alcotest.(check bool) "mentions budget" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected cycle-budget error"
+
+let test_histogram () =
+  let src = "function y = f(a)\ny = 0;\nfor i = 1:32\ny = y + a(i) * a(i);\nend\nend" in
+  let f =
+    Masc_mir.Lower.lower_program
+      (Masc_sema.Infer.infer_source src ~entry:"f"
+         ~arg_types:[ Masc_sema.Mtype.row_vector Masc_sema.Mtype.Double 32 ])
+  in
+  let r =
+    I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f
+      [ I.xarray_of_floats (Masc_kernels.Kernels.randoms ~seed:77 32) ]
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 r.I.histogram in
+  Alcotest.(check int) "histogram sums to total cycles" r.I.cycles total;
+  Alcotest.(check bool) "has alu class" true
+    (List.mem_assoc "alu" r.I.histogram);
+  Alcotest.(check bool) "has mem class" true
+    (List.mem_assoc "mem" r.I.histogram);
+  Alcotest.(check bool) "has loop class" true
+    (List.mem_assoc "loop" r.I.histogram)
+
+let test_verify_catches_breakage () =
+  let arr = { Mir.vname = "a"; vid = 0; vty = Mir.Tarray (Mir.double_sty, 4) } in
+  let y = { Mir.vname = "y"; vid = 1; vty = Mir.Tscalar Mir.double_sty } in
+  let bad_cases =
+    [ (* array used as scalar operand *)
+      { Mir.name = "bad1"; params = [ arr ]; rets = [ y ]; vars = [ arr; y ];
+        body = [ Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar arr, Mir.Oconst (Mir.Cf 1.0))) ] };
+      (* undeclared variable *)
+      { Mir.name = "bad2"; params = []; rets = [ y ]; vars = [ y ];
+        body =
+          [ Mir.Idef (y, Mir.Rmove (Mir.Ovar { Mir.vname = "ghost"; vid = 99; vty = Mir.Tscalar Mir.double_sty })) ] };
+      (* break outside loop *)
+      { Mir.name = "bad3"; params = []; rets = [ y ]; vars = [ y ];
+        body = [ Mir.Ibreak ] } ]
+  in
+  List.iter
+    (fun f ->
+      match Masc_mir.Verify.check_result f with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "verifier accepted %s" f.Mir.name)
+    bad_cases
+
+let test_print_formats () =
+  let src =
+    "function y = f()\n\
+     y = 1;\n\
+     fprintf('int %d, float %.2f, pct %%\\n', 7, 3.14159);\n\
+     fprintf('%d %d\\n', 1, 2);\n\
+     disp(42);\nend"
+  in
+  let f =
+    Masc_mir.Lower.lower_program
+      (Masc_sema.Infer.infer_source src ~entry:"f" ~arg_types:[])
+  in
+  let r = I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] in
+  Alcotest.(check string) "output"
+    "int 7, float 3.14, pct %\n1 2\n42 \n" r.I.output
+
+let base_suites =
+  [ ( "vm",
+      [ Alcotest.test_case "value coercions" `Quick test_value_coercions;
+        Alcotest.test_case "value binops" `Quick test_value_binops;
+        Alcotest.test_case "value math" `Quick test_value_math;
+        Alcotest.test_case "vector execution" `Quick test_vector_execution;
+        Alcotest.test_case "missing intrinsic" `Quick
+          test_missing_intrinsic_fails;
+        Alcotest.test_case "bounds checking" `Quick test_bounds_checking;
+        Alcotest.test_case "cycle budget" `Quick test_cycle_budget;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "verifier catches breakage" `Quick
+          test_verify_catches_breakage;
+        Alcotest.test_case "print formats" `Quick test_print_formats ] ) ]
+
+(* --- determinism and affine analysis --- *)
+
+let test_determinism () =
+  (* Identical compile+run twice: cycles, values and histogram match
+     exactly (no wall-clock or randomness anywhere). *)
+  let k = Masc_kernels.Kernels.fft ~n:64 () in
+  let go () =
+    let c =
+      Masc.Compiler.compile (Masc.Compiler.proposed ())
+        ~source:k.Masc_kernels.Kernels.source
+        ~entry:k.Masc_kernels.Kernels.entry
+        ~arg_types:k.Masc_kernels.Kernels.arg_types
+    in
+    Masc.Compiler.run c (k.Masc_kernels.Kernels.inputs ())
+  in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check int) "cycles equal" r1.I.cycles r2.I.cycles;
+  Alcotest.(check int) "dyn instrs equal" r1.I.dyn_instrs r2.I.dyn_instrs;
+  Alcotest.(check bool) "histograms equal" true (r1.I.histogram = r2.I.histogram);
+  Alcotest.(check bool) "values equal" true (r1.I.rets = r2.I.rets)
+
+let test_affine_analysis () =
+  let module A = Masc_mir.Affine in
+  let iv = { Mir.vname = "i"; vid = 0; vty = Mir.Tscalar Mir.int_sty } in
+  let m = { Mir.vname = "m"; vid = 1; vty = Mir.Tscalar Mir.int_sty } in
+  let t1 = { Mir.vname = "t"; vid = 2; vty = Mir.Tscalar Mir.int_sty } in
+  let t2 = { Mir.vname = "t"; vid = 3; vty = Mir.Tscalar Mir.int_sty } in
+  let defs = Hashtbl.create 4 in
+  (* t1 = i - 1; t2 = t1 * 4 + m *)
+  Hashtbl.replace defs t1.Mir.vid
+    (Mir.Rbin (Mir.Bsub, Mir.Ovar iv, Mir.Oconst (Mir.Ci 1)));
+  Hashtbl.replace defs t2.Mir.vid
+    (Mir.Rbin
+       ( Mir.Badd,
+         Mir.Ovar
+           { Mir.vname = "x"; vid = 4; vty = Mir.Tscalar Mir.int_sty },
+         Mir.Ovar m ));
+  Hashtbl.replace defs 4
+    (Mir.Rbin (Mir.Bmul, Mir.Ovar t1, Mir.Oconst (Mir.Ci 4)));
+  (match A.analyze ~ivar:iv ~defs (Mir.Ovar t1) with
+  | Some a ->
+    Alcotest.(check int) "coeff of i-1" 1 a.A.coeff;
+    Alcotest.(check int) "const of i-1" (-1) a.A.const
+  | None -> Alcotest.fail "i-1 should be affine");
+  (match A.analyze ~ivar:iv ~defs (Mir.Ovar t2) with
+  | Some a ->
+    Alcotest.(check int) "coeff of 4(i-1)+m" 4 a.A.coeff;
+    Alcotest.(check int) "const" (-4) a.A.const;
+    Alcotest.(check int) "one invariant term" 1 (List.length a.A.terms)
+  | None -> Alcotest.fail "4(i-1)+m should be affine");
+  (* non-affine: load-dependent *)
+  let arr = { Mir.vname = "a"; vid = 5; vty = Mir.Tarray (Mir.int_sty, 4) } in
+  Hashtbl.replace defs 6 (Mir.Rload (arr, Mir.Ovar iv));
+  match
+    A.analyze ~ivar:iv ~defs
+      (Mir.Ovar { Mir.vname = "g"; vid = 6; vty = Mir.Tscalar Mir.int_sty })
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "load-dependent index must not be affine"
+
+let extra_suites =
+  [ ( "vm extras",
+      [ Alcotest.test_case "deterministic execution" `Quick test_determinism;
+        Alcotest.test_case "affine analysis" `Quick test_affine_analysis ] ) ]
+
+let suites = base_suites @ extra_suites
