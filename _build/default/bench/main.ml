@@ -1,9 +1,12 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md for the experiment index), then runs
-   Bechamel wall-clock microbenchmarks of the compiler itself.
+   Bechamel wall-clock microbenchmarks of the compiler and simulator.
 
    Run with:  dune exec bench/main.exe            (everything)
               dune exec bench/main.exe -- tables  (cycle tables only)
+              dune exec bench/main.exe -- json    (machine-readable; see
+                                                   bench/README.md)
+              dune exec bench/main.exe -- smoke   (reduced set, CI gate)
 *)
 
 module C = Masc.Compiler
@@ -38,6 +41,46 @@ let table1 () =
 
 (* ------- Table II + Fig. 2: proposed vs MATLAB-Coder baseline ------- *)
 
+type t2row = {
+  t2kernel : string;
+  t2baseline : int;
+  t2proposed : int;
+  t2speedup : float;
+  t2notes : string;
+}
+
+let table2_data () =
+  List.map
+    (fun (k : K.kernel) ->
+      let compiled = compile (C.proposed ()) k in
+      let pc = (C.run compiled (k.K.inputs ())).I.cycles in
+      let bc = cycles (C.coder_baseline ()) k in
+      let s = float_of_int bc /. float_of_int pc in
+      let notes =
+        let v = compiled.C.vec_stats in
+        let c = compiled.C.cplx_stats in
+        String.concat ", "
+          (List.filter
+             (fun s -> s <> "")
+             [ (if v.Masc_vectorize.Vectorizer.map_loops > 0 then
+                  Printf.sprintf "%d SIMD map loop(s)"
+                    v.Masc_vectorize.Vectorizer.map_loops
+                else "");
+               (if v.Masc_vectorize.Vectorizer.reduction_loops > 0 then
+                  Printf.sprintf "%d MAC reduction(s)"
+                    v.Masc_vectorize.Vectorizer.reduction_loops
+                else "");
+               (if c.Masc_vectorize.Complex_sel.cmul > 0 then
+                  Printf.sprintf "%d cmul" c.Masc_vectorize.Complex_sel.cmul
+                else "");
+               (if c.Masc_vectorize.Complex_sel.cmac > 0 then
+                  Printf.sprintf "%d cmac" c.Masc_vectorize.Complex_sel.cmac
+                else "") ])
+      in
+      { t2kernel = k.K.kname; t2baseline = bc; t2proposed = pc;
+        t2speedup = s; t2notes = notes })
+    kernels
+
 let bar width frac =
   let n = int_of_float (frac *. float_of_int width) in
   String.make (max 1 n) '#'
@@ -48,47 +91,24 @@ let table2 () =
      proposed compiler";
   Printf.printf "%-8s %14s %14s %9s   %s\n" "kernel" "baseline" "proposed"
     "speedup" "notes";
-  let results =
-    List.map
-      (fun (k : K.kernel) ->
-        let compiled = compile (C.proposed ()) k in
-        let pc = (C.run compiled (k.K.inputs ())).I.cycles in
-        let bc = cycles (C.coder_baseline ()) k in
-        let s = float_of_int bc /. float_of_int pc in
-        let notes =
-          let v = compiled.C.vec_stats in
-          let c = compiled.C.cplx_stats in
-          String.concat ", "
-            (List.filter
-               (fun s -> s <> "")
-               [ (if v.Masc_vectorize.Vectorizer.map_loops > 0 then
-                    Printf.sprintf "%d SIMD map loop(s)"
-                      v.Masc_vectorize.Vectorizer.map_loops
-                  else "");
-                 (if v.Masc_vectorize.Vectorizer.reduction_loops > 0 then
-                    Printf.sprintf "%d MAC reduction(s)"
-                      v.Masc_vectorize.Vectorizer.reduction_loops
-                  else "");
-                 (if c.Masc_vectorize.Complex_sel.cmul > 0 then
-                    Printf.sprintf "%d cmul" c.Masc_vectorize.Complex_sel.cmul
-                  else "");
-                 (if c.Masc_vectorize.Complex_sel.cmac > 0 then
-                    Printf.sprintf "%d cmac" c.Masc_vectorize.Complex_sel.cmac
-                  else "") ])
-        in
-        Printf.printf "%-8s %14d %14d %8.1fx   %s\n" k.K.kname bc pc s notes;
-        (k.K.kname, s))
-      kernels
+  let rows = table2_data () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %14d %14d %8.1fx   %s\n" r.t2kernel r.t2baseline
+        r.t2proposed r.t2speedup r.t2notes)
+    rows;
+  let best = List.fold_left (fun m r -> Float.max m r.t2speedup) 0.0 rows in
+  let worst =
+    List.fold_left (fun m r -> Float.min m r.t2speedup) infinity rows
   in
-  let best = List.fold_left (fun m (_, s) -> Float.max m s) 0.0 results in
-  let worst = List.fold_left (fun m (_, s) -> Float.min m s) infinity results in
   Printf.printf "\nspeedup range: %.1fx - %.1fx (paper: 2x - 30x)\n" worst best;
   header "Fig. 2: speedup over MATLAB-Coder-style baseline (dsp8)";
   List.iter
-    (fun (name, s) ->
-      Printf.printf "%-8s %6.1fx |%s\n" name s (bar 50 (s /. 20.0)))
-    results;
-  results
+    (fun r ->
+      Printf.printf "%-8s %6.1fx |%s\n" r.t2kernel r.t2speedup
+        (bar 50 (r.t2speedup /. 20.0)))
+    rows;
+  rows
 
 (* ---------------- Table III: ISE-class ablation ---------------- *)
 
@@ -111,6 +131,23 @@ let table3 () =
 
 (* ------------- Fig. 3: SIMD width sweep (retargetability) ------------- *)
 
+let fig3_targets =
+  [ ("scalar", T.scalar); ("dsp4", T.dsp4); ("dsp8", T.dsp8);
+    ("dsp16", T.dsp16) ]
+
+let fig3_data () =
+  List.map
+    (fun (k : K.kernel) ->
+      let bc = cycles (C.coder_baseline ()) k in
+      let per_target =
+        List.map
+          (fun (tname, isa) ->
+            (tname, float_of_int bc /. float_of_int (cycles (C.proposed ~isa ()) k)))
+          fig3_targets
+      in
+      (k.K.kname, per_target))
+    kernels
+
 let fig3 () =
   header
     "Fig. 3: speedup vs baseline as a function of SIMD width (parameterized \
@@ -118,12 +155,11 @@ let fig3 () =
   Printf.printf "%-8s %10s %10s %10s %10s\n" "kernel" "scalar" "dsp4" "dsp8"
     "dsp16";
   List.iter
-    (fun (k : K.kernel) ->
-      let bc = cycles (C.coder_baseline ()) k in
-      let s isa = float_of_int bc /. float_of_int (cycles (C.proposed ~isa ()) k) in
-      Printf.printf "%-8s %9.1fx %9.1fx %9.1fx %9.1fx\n" k.K.kname (s T.scalar)
-        (s T.dsp4) (s T.dsp8) (s T.dsp16))
-    kernels
+    (fun (kname, per_target) ->
+      Printf.printf "%-8s" kname;
+      List.iter (fun (_, s) -> Printf.printf " %9.1fx" s) per_target;
+      Printf.printf "\n")
+    (fig3_data ())
 
 (* -------- Table IV: scalar optimization levels (flow ablation) -------- *)
 
@@ -149,8 +185,7 @@ let table5 () =
     "Table V: loop-fusion ablation — proposed dsp8 cycles with the fusion \
      pass removed ('chain' = 4-stage elementwise pipeline, the shape fusion \
      targets)";
-  Printf.printf "%-8s %14s %14s %10s
-" "kernel" "no fusion" "with fusion"
+  Printf.printf "%-8s %14s %14s %10s\n" "kernel" "no fusion" "with fusion"
     "saving";
   let no_fusion_passes =
     List.filter (fun (name, _) -> name <> "fusion")
@@ -179,89 +214,193 @@ let table5 () =
   List.iter
     (fun (k : K.kernel) ->
       let with_fusion = cycles (C.proposed ()) k in
-      (* replicate the pipeline without fusion *)
-      let typed =
-        Masc_sema.Infer.infer_source k.K.source ~entry:k.K.entry
-          ~arg_types:k.K.arg_types
+      (* same pipeline with the fusion pass dropped *)
+      let ablated =
+        C.compile ~passes:no_fusion_passes (C.proposed ()) ~source:k.K.source
+          ~entry:k.K.entry ~arg_types:k.K.arg_types
       in
-      let mir = Masc_mir.Lower.lower_program typed in
-      let mir =
-        List.fold_left (fun f (_, p) -> p f) mir no_fusion_passes
-      in
-      let mir, _ = Masc_vectorize.Vectorizer.run T.dsp8 mir in
-      let mir, _ = Masc_vectorize.Complex_sel.run T.dsp8 mir in
-      let mir =
-        mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
-        |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run
-      in
-      let no_fusion =
-        (Masc_vm.Interp.run ~isa:T.dsp8 ~mode:Masc_asip.Cost_model.Proposed
-           mir (k.K.inputs ()))
-          .I.cycles
-      in
-      Printf.printf "%-8s %14d %14d %9.1f%%
-" k.K.kname no_fusion with_fusion
+      let no_fusion = (C.run ablated (k.K.inputs ())).I.cycles in
+      Printf.printf "%-8s %14d %14d %9.1f%%\n" k.K.kname no_fusion with_fusion
         (100.0
         *. (float_of_int (no_fusion - with_fusion) /. float_of_int no_fusion)))
     (kernels @ [ chain_kernel ])
 
 (* ---------------- Bechamel: compiler throughput ---------------- *)
 
-let bechamel_benches () =
+(* The simulator benches run each kernel through both back ends: the
+   closure-threaded plan (the production path, plan construction cached
+   in [compiled]) and the legacy tree-walking interpreter, so the
+   plan-vs-tree speedup is part of the recorded perf trajectory. *)
+let sim_cases () =
+  [ ("fir256", K.fir ~n:256 ~m:16 ());
+    ("fft64", K.fft ~n:64 ());
+    ("fir1024", K.fir ~n:1024 ());
+    ("fft1024", K.fft ~n:1024 ()) ]
+
+let bechamel_tests () =
   let open Bechamel in
   let compile_test (k : K.kernel) =
     Test.make
       ~name:(Printf.sprintf "compile %s (proposed)" k.K.kname)
       (Staged.stage (fun () -> ignore (compile (C.proposed ()) k)))
   in
-  let simulate_test (k : K.kernel) =
+  let simulate_tests (label, (k : K.kernel)) =
     let compiled = compile (C.proposed ()) k in
     let inputs = k.K.inputs () in
-    Test.make
-      ~name:(Printf.sprintf "simulate %s (dsp8)" k.K.kname)
-      (Staged.stage (fun () -> ignore (C.run compiled inputs)))
+    let isa = compiled.C.config.C.isa and mode = compiled.C.config.C.mode in
+    [ Test.make
+        ~name:(Printf.sprintf "simulate %s (dsp8, plan)" label)
+        (Staged.stage (fun () -> ignore (C.run compiled inputs)));
+      Test.make
+        ~name:(Printf.sprintf "simulate %s (dsp8, tree)" label)
+        (Staged.stage (fun () ->
+             ignore (I.run_tree ~isa ~mode compiled.C.mir inputs))) ]
   in
-  let tests =
-    List.map compile_test kernels
-    @ List.map simulate_test [ K.fir ~n:256 ~m:16 (); K.fft ~n:64 () ]
-  in
+  List.map compile_test kernels
+  @ List.concat_map simulate_tests (sim_cases ())
+
+(* Run the tests and return [(name, ns_per_run option)] in test order. *)
+let bechamel_data () =
+  let open Bechamel in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:(Some 300) () in
-  let raw =
-    List.map
-      (fun test -> Benchmark.all cfg instances test)
-      (List.map (fun t -> t) tests)
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:(Some 300) ()
   in
+  List.concat_map
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      Hashtbl.fold
+        (fun name wall acc ->
+          let est =
+            match
+              Analyze.one
+                (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+                Toolkit.Instance.monotonic_clock wall
+            with
+            | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Some est
+              | _ -> None)
+            | exception _ -> None
+          in
+          (name, est) :: acc)
+        raw [])
+    (bechamel_tests ())
+
+let bechamel_print data =
   header "Bechamel: compiler and simulator throughput (wall clock)";
-  List.iter2
-    (fun test results ->
-      ignore test;
-      Hashtbl.iter
-        (fun name wall ->
-          match
-            Analyze.one
-              (Analyze.ols ~bootstrap:0 ~r_square:false
-                 ~predictors:[| Measure.run |])
-              (Toolkit.Instance.monotonic_clock)
-              wall
-          with
-          | ols -> (
-            match Analyze.OLS.estimates ols with
-            | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
-            | _ -> Printf.printf "%-32s (no estimate)\n" name)
-          | exception _ -> Printf.printf "%-32s (analysis failed)\n" name)
-        results)
-    tests raw
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-32s %12.0f ns/run\n" name est
+      | None -> Printf.printf "%-32s (no estimate)\n" name)
+    data
+
+(* ---------------- json: machine-readable perf trajectory -------------- *)
+
+(* Schema documented in bench/README.md; bump schema_version on change. *)
+let json () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let esc s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null" in
+  let sep xs f = List.iteri (fun i x -> (if i > 0 then add ","); f x) xs in
+  add "{\n";
+  add "  \"schema_version\": 1,\n";
+  add "  \"generator\": \"bench/main.exe json\",\n";
+  add "  \"table2\": [";
+  sep (table2_data ()) (fun r ->
+      add "\n    {\"kernel\": \"%s\", \"baseline_cycles\": %d, \
+           \"proposed_cycles\": %d, \"speedup\": %s}"
+        (esc r.t2kernel) r.t2baseline r.t2proposed (jfloat r.t2speedup));
+  add "\n  ],\n";
+  add "  \"fig3\": [";
+  sep (fig3_data ()) (fun (kname, per_target) ->
+      add "\n    {\"kernel\": \"%s\", \"speedup_vs_baseline\": {" (esc kname);
+      sep per_target (fun (tname, s) ->
+          add "\"%s\": %s" (esc tname) (jfloat s));
+      add "}}");
+  add "\n  ],\n";
+  add "  \"bechamel_ns_per_run\": [";
+  sep (bechamel_data ()) (fun (name, est) ->
+      add "\n    {\"name\": \"%s\", \"ns_per_run\": %s}" (esc name)
+        (match est with Some e -> jfloat e | None -> "null"));
+  add "\n  ]\n}\n";
+  print_string (Buffer.contents buf)
+
+(* ---------------- smoke: reduced-set CI gate ---------------- *)
+
+(* Exercises the full compile-and-simulate plumbing on small kernels and
+   fails (exit 1) on a non-finite/non-positive speedup or on any
+   plan-vs-tree divergence, so `dune build @bench-smoke` (wired into
+   `dune runtest`) guards the perf machinery. *)
+let smoke () =
+  let small =
+    [ K.fir ~n:64 ~m:8 (); K.fft ~n:32 (); K.matmul ~n:8 () ]
+  in
+  header "bench-smoke: reduced kernel set (compile + simulate gate)";
+  Printf.printf "%-8s %12s %12s %9s   %s\n" "kernel" "baseline" "proposed"
+    "speedup" "plan=tree";
+  let ok = ref true in
+  List.iter
+    (fun (k : K.kernel) ->
+      let compiled = compile (C.proposed ()) k in
+      let inputs = k.K.inputs () in
+      let rp = C.run compiled inputs in
+      let rt =
+        I.run_tree ~isa:compiled.C.config.C.isa ~mode:compiled.C.config.C.mode
+          compiled.C.mir inputs
+      in
+      let agree =
+        rp.I.cycles = rt.I.cycles
+        && rp.I.dyn_instrs = rt.I.dyn_instrs
+        && rp.I.histogram = rt.I.histogram
+        && rp.I.output = rt.I.output
+        && compare rp.I.rets rt.I.rets = 0
+      in
+      let bc = cycles (C.coder_baseline ()) k in
+      let s = float_of_int bc /. float_of_int rp.I.cycles in
+      Printf.printf "%-8s %12d %12d %8.2fx   %b\n" k.K.kname bc rp.I.cycles s
+        agree;
+      if (not (Float.is_finite s)) || s <= 0.0 || not agree then ok := false)
+    small;
+  if not !ok then begin
+    prerr_endline
+      "bench-smoke: FAILED (non-finite speedup or plan/tree divergence)";
+    exit 1
+  end;
+  Printf.printf "\nbench-smoke: ok\n"
 
 let () =
-  let tables_only =
-    Array.length Sys.argv > 1 && Sys.argv.(1) = "tables"
-  in
-  table1 ();
-  ignore (table2 ());
-  table3 ();
-  fig3 ();
-  table4 ();
-  table5 ();
-  if not tables_only then bechamel_benches ();
-  Printf.printf "\ndone.\n"
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match cmd with
+  | "json" -> json ()
+  | "smoke" -> smoke ()
+  | "tables" ->
+    table1 ();
+    ignore (table2 ());
+    table3 ();
+    fig3 ();
+    table4 ();
+    table5 ();
+    Printf.printf "\ndone.\n"
+  | _ ->
+    table1 ();
+    ignore (table2 ());
+    table3 ();
+    fig3 ();
+    table4 ();
+    table5 ();
+    bechamel_print (bechamel_data ());
+    Printf.printf "\ndone.\n"

@@ -1,1 +1,1 @@
-lib/asip/cost_model.ml: Isa Masc_mir Masc_sema Printf
+lib/asip/cost_model.ml: Isa Masc_mir Masc_sema Option Printf String

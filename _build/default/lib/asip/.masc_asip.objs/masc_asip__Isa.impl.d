@@ -1,1 +1,1 @@
-lib/asip/isa.ml: Format List Option String
+lib/asip/isa.ml: Format Hashtbl List Option

@@ -1,1 +1,1 @@
-lib/asip/isa.mli: Format
+lib/asip/isa.mli: Format Hashtbl

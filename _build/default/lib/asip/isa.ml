@@ -47,7 +47,34 @@ let default_costs =
 
 let find t kind = List.find_opt (fun i -> i.kind = kind) t.instrs
 let has t kind = Option.is_some (find t kind)
-let find_named t name = List.find_opt (fun i -> String.equal i.iname name) t.instrs
+
+(* Intrinsic lookups by name happen once per dynamic instruction in the
+   tree-walking simulator and once per static instruction in the plan
+   compiler; a per-target hash table keyed by physical identity avoids
+   rescanning [instrs] every time. Targets are module-level values (see
+   Targets), so the cache stays tiny; it is capped defensively in case a
+   caller parses ISA descriptions in a loop. *)
+let named_cache : (t * (string, instr_desc) Hashtbl.t) list ref = ref []
+let named_cache_cap = 32
+
+let intrinsic_table t =
+  match List.find_opt (fun (t', _) -> t' == t) !named_cache with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    (* First description wins, matching List.find_opt order. *)
+    List.iter
+      (fun i -> if not (Hashtbl.mem tbl i.iname) then Hashtbl.add tbl i.iname i)
+      t.instrs;
+    let keep =
+      if List.length !named_cache >= named_cache_cap then
+        List.filteri (fun k _ -> k < named_cache_cap - 1) !named_cache
+      else !named_cache
+    in
+    named_cache := (t, tbl) :: keep;
+    tbl
+
+let find_named t name = Hashtbl.find_opt (intrinsic_table t) name
 
 let kind_table =
   [ ("simd.add", Ksimd_add); ("simd.sub", Ksimd_sub); ("simd.mul", Ksimd_mul);

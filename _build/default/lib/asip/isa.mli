@@ -65,8 +65,15 @@ val find : t -> kind -> instr_desc option
 
 val has : t -> kind -> bool
 
-(** [find_named t name] looks an instruction up by intrinsic name. *)
+(** [find_named t name] looks an instruction up by intrinsic name.
+    Backed by a memoized per-target hash table, so repeated lookups (one
+    per dynamic instruction in the simulator) are O(1) instead of a list
+    scan over the instruction descriptions. *)
 val find_named : t -> string -> instr_desc option
+
+(** The memoized name → description table itself, for callers that
+    resolve many intrinsics (the VM plan compiler). *)
+val intrinsic_table : t -> (string, instr_desc) Hashtbl.t
 
 val kind_of_string : string -> kind option
 val kind_to_string : kind -> string

@@ -1,1 +1,1 @@
-lib/core/compiler.ml: Buffer List Masc_asip Masc_codegen Masc_mir Masc_opt Masc_sema Masc_vectorize Masc_vm Printf String
+lib/core/compiler.ml: Buffer Lazy List Masc_asip Masc_codegen Masc_mir Masc_opt Masc_sema Masc_vectorize Masc_vm Printf String

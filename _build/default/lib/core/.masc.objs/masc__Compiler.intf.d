@@ -1,1 +1,1 @@
-lib/core/compiler.mli: Masc_asip Masc_mir Masc_opt Masc_sema Masc_vectorize Masc_vm
+lib/core/compiler.mli: Lazy Masc_asip Masc_mir Masc_opt Masc_sema Masc_vectorize Masc_vm

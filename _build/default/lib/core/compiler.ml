@@ -30,13 +30,18 @@ type compiled = {
   mir : Masc_mir.Mir.func;
   vec_stats : Vectorizer.stats;
   cplx_stats : Complex_sel.stats;
+  plan : Masc_vm.Plan.t Lazy.t;
 }
 
-let compile config ~source ~entry ~arg_types =
+let compile ?passes config ~source ~entry ~arg_types =
   let typed = Infer.infer_source source ~entry ~arg_types in
   let mir_raw = Lower.lower_program typed in
   Masc_mir.Verify.check mir_raw;
-  let mir = Pipeline.optimize config.opt_level mir_raw in
+  let mir =
+    match passes with
+    | None -> Pipeline.optimize config.opt_level mir_raw
+    | Some ps -> List.fold_left (fun f (_, p) -> p f) mir_raw ps
+  in
   Masc_mir.Verify.check mir;
   let mir, vec_stats =
     if config.vectorize then Vectorizer.run config.isa mir
@@ -56,7 +61,13 @@ let compile config ~source ~entry ~arg_types =
       |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run
   in
   Masc_mir.Verify.check mir;
-  { config; typed; mir_raw; mir; vec_stats; cplx_stats }
+  (* The execution plan is derived data: built on first run, reused for
+     every subsequent simulation of this compilation (the benchmark
+     sweeps re-run each compiled kernel many times). *)
+  let plan =
+    lazy (Masc_vm.Plan.compile ~isa:config.isa ~mode:config.mode mir)
+  in
+  { config; typed; mir_raw; mir; vec_stats; cplx_stats; plan }
 
 let c_source c =
   Masc_codegen.Emit.program ~isa:c.config.isa ~mode:c.config.mode c.mir
@@ -64,8 +75,7 @@ let c_source c =
 let runtime_header c = Masc_codegen.Runtime.header c.config.isa
 
 let run ?max_cycles c inputs =
-  Masc_vm.Interp.run ?max_cycles ~isa:c.config.isa ~mode:c.config.mode c.mir
-    inputs
+  Masc_vm.Plan.execute ?max_cycles (Lazy.force c.plan) inputs
 
 let stage_dump c =
   let b = Buffer.create 8192 in

@@ -38,11 +38,22 @@ type compiled = {
   mir : Masc_mir.Mir.func;  (** final form that executes and is emitted *)
   vec_stats : Masc_vectorize.Vectorizer.stats;
   cplx_stats : Masc_vectorize.Complex_sel.stats;
+  plan : Masc_vm.Plan.t Lazy.t;
+      (** closure-threaded execution plan for [mir], built on first
+          {!run} and cached for the lifetime of this compilation *)
 }
 
 (** [compile config ~source ~entry ~arg_types] runs the whole pipeline.
-    Raises {!Masc_frontend.Diag.Error} on any front-end failure. *)
+    Raises {!Masc_frontend.Diag.Error} on any front-end failure.
+
+    [?passes] replaces the scalar optimization stage
+    ([Masc_opt.Pipeline.optimize config.opt_level]) with an explicit
+    [(name, pass)] list applied in order — for pass-ablation
+    experiments (e.g. Table V drops the fusion pass). Vectorization,
+    complex-ISE selection and the post-rewrite cleanup still follow the
+    configuration. *)
 val compile :
+  ?passes:(string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list ->
   config ->
   source:string ->
   entry:string ->

@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Buffer Format Masc_mir Printf Scanf String Value

@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Format Masc_mir Value

@@ -1,1 +1,1 @@
-lib/vm/interp.ml: Array Buffer Complex Format Hashtbl List Masc_asip Masc_mir Masc_sema Printf Scanf String Value
+lib/vm/interp.ml: Array Buffer Complex Exec Format Hashtbl List Masc_asip Masc_mir Masc_sema Plan String Value

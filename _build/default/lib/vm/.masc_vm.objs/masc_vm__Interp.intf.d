@@ -1,1 +1,1 @@
-lib/vm/interp.mli: Complex Masc_asip Masc_mir Value
+lib/vm/interp.mli: Complex Exec Masc_asip Masc_mir Value

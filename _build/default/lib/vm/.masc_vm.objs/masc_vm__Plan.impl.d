@@ -1,0 +1,1 @@
+lib/vm/plan.ml: Array Buffer Complex Exec Format Hashtbl List Masc_asip Masc_mir Masc_sema Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/vm/plan.mli: Exec Masc_asip Masc_mir

@@ -1,0 +1,136 @@
+(* Shared execution substrate for the two simulator back ends: the
+   legacy tree-walking interpreter (Interp.run_tree) and the
+   closure-threaded plan executor (Plan). Everything here is
+   back-end-agnostic: result/argument types, control-flow exceptions,
+   lane-wise vector semantics, and disp/fprintf formatting. *)
+
+module Mir = Masc_mir.Mir
+module V = Value
+
+type xvalue = Xscalar of Value.scalar | Xarray of Value.scalar array
+
+type result = {
+  rets : xvalue list;
+  cycles : int;
+  dyn_instrs : int;
+  histogram : (string * int) list;
+  output : string;
+}
+
+exception Runtime_error of string
+exception Break_exc
+exception Continue_exc
+exception Return_exc
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let scalar_of_value = function
+  | Value.Scalar s -> s
+  | Value.Vector _ -> fail "vector value used where a scalar was expected"
+
+(* Lane-wise application helpers for vector semantics. *)
+let lanewise2 f a b =
+  match (a, b) with
+  | Value.Vector x, Value.Vector y ->
+    if Array.length x <> Array.length y then fail "vector width mismatch";
+    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
+  | Value.Vector x, Value.Scalar s ->
+    Value.Vector (Array.map (fun xi -> f xi s) x)
+  | Value.Scalar s, Value.Vector y ->
+    Value.Vector (Array.map (fun yi -> f s yi) y)
+  | Value.Scalar x, Value.Scalar y -> Value.Scalar (f x y)
+
+let lanewise3 f a b c =
+  match (a, b, c) with
+  | Value.Vector x, Value.Vector y, Value.Vector z
+    when Array.length x = Array.length y && Array.length y = Array.length z ->
+    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i) z.(i)))
+  | _ -> fail "three-operand vector op requires equal widths"
+
+let coerce_value (sty : Mir.scalar_ty) (v : Value.t) =
+  match v with
+  | Value.Scalar s -> Value.Scalar (V.coerce { sty with Mir.lanes = 1 } s)
+  | Value.Vector x ->
+    Value.Vector (Array.map (V.coerce { sty with Mir.lanes = 1 }) x)
+
+(* fprintf-style formatting with a flat queue of scalars; the format is
+   recycled as long as arguments remain, as MATLAB does. *)
+let render_format (fmt : string) (queue : Value.scalar list) : string =
+  let b = Buffer.create 64 in
+  let n = String.length fmt in
+  let args = ref queue in
+  let pop () =
+    match !args with
+    | [] -> None
+    | x :: rest ->
+      args := rest;
+      Some x
+  in
+  let one_pass () =
+    let i = ref 0 in
+    while !i < n do
+      let c = fmt.[!i] in
+      if c = '\\' && !i + 1 < n then begin
+        (match fmt.[!i + 1] with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | '\\' -> Buffer.add_char b '\\'
+        | other ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b other);
+        i := !i + 2
+      end
+      else if c = '%' && !i + 1 < n then begin
+        (* scan to the conversion character *)
+        let j = ref (!i + 1) in
+        while
+          !j < n
+          && not (String.contains "diufeEgGsx%" fmt.[!j])
+        do
+          incr j
+        done;
+        if !j < n && fmt.[!j] = '%' && !j = !i + 1 then Buffer.add_char b '%'
+        else if !j < n then begin
+          let spec = String.sub fmt !i (!j - !i + 1) in
+          match pop () with
+          | None -> Buffer.add_string b spec
+          | Some v -> (
+            match fmt.[!j] with
+            | 'd' | 'i' | 'u' ->
+              Buffer.add_string b (string_of_int (V.to_int v))
+            | 'x' -> (
+              (* honour flags/width when the spec is well-formed, but
+                 always print hexadecimal *)
+              try
+                Buffer.add_string b
+                  (Printf.sprintf
+                     (Scanf.format_from_string spec "%x")
+                     (V.to_int v))
+              with _ -> Buffer.add_string b (Printf.sprintf "%x" (V.to_int v)))
+            | 's' -> Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)
+            | _ -> (
+              try
+                Buffer.add_string b
+                  (Printf.sprintf
+                     (Scanf.format_from_string spec "%f")
+                     (V.to_float v))
+              with _ ->
+                Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)))
+        end
+        else Buffer.add_char b '%';
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char b c;
+        incr i
+      end
+    done
+  in
+  one_pass ();
+  (* MATLAB recycles the format while arguments remain. *)
+  let guard = ref 0 in
+  while !args <> [] && !guard < 10000 do
+    incr guard;
+    one_pass ()
+  done;
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** Shared execution substrate for the simulator back ends.
+
+    Both the legacy tree-walking interpreter ({!Interp.run_tree}) and
+    the closure-threaded plan executor ({!Plan}) produce the same
+    {!result} from the same {!xvalue} arguments and share the vector /
+    formatting semantics defined here, so the two paths are
+    bit-identical by construction wherever they share code. *)
+
+type xvalue = Xscalar of Value.scalar | Xarray of Value.scalar array
+
+type result = {
+  rets : xvalue list;
+  cycles : int;
+  dyn_instrs : int;  (** dynamic instruction count *)
+  histogram : (string * int) list;  (** cycles per instruction class *)
+  output : string;  (** text produced by disp/fprintf *)
+}
+
+exception Runtime_error of string
+
+(** Control-flow signals raised by [break]/[continue]/[return] and
+    caught at the enclosing loop or function boundary. *)
+exception Break_exc
+
+exception Continue_exc
+exception Return_exc
+
+(** [fail fmt ...] raises {!Runtime_error} with a formatted message. *)
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Project a scalar out of a value; fails on vectors. *)
+val scalar_of_value : Value.t -> Value.scalar
+
+(** Lane-wise binary/ternary application with scalar broadcast. *)
+val lanewise2 :
+  (Value.scalar -> Value.scalar -> Value.scalar) -> Value.t -> Value.t ->
+  Value.t
+
+val lanewise3 :
+  (Value.scalar -> Value.scalar -> Value.scalar -> Value.scalar) ->
+  Value.t -> Value.t -> Value.t -> Value.t
+
+(** Coerce a value (lane-wise for vectors) to an element type. *)
+val coerce_value : Masc_mir.Mir.scalar_ty -> Value.t -> Value.t
+
+(** MATLAB [fprintf] semantics: conversion specs consume a flat queue of
+    scalars and the format string is recycled while arguments remain. *)
+val render_format : string -> Value.scalar list -> string

@@ -3,9 +3,9 @@ module Isa = Masc_asip.Isa
 module Cost = Masc_asip.Cost_model
 module V = Value
 
-type xvalue = Xscalar of Value.scalar | Xarray of Value.scalar array
+type xvalue = Exec.xvalue = Xscalar of Value.scalar | Xarray of Value.scalar array
 
-type result = {
+type result = Exec.result = {
   rets : xvalue list;
   cycles : int;
   dyn_instrs : int;
@@ -13,12 +13,32 @@ type result = {
   output : string;
 }
 
-exception Runtime_error of string
-exception Break_exc
-exception Continue_exc
-exception Return_exc
+exception Runtime_error = Exec.Runtime_error
 
-let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+let fail = Exec.fail
+let scalar_of_value = Exec.scalar_of_value
+let lanewise2 = Exec.lanewise2
+let lanewise3 = Exec.lanewise3
+let coerce_value = Exec.coerce_value
+let render_format = Exec.render_format
+
+(* ------------------------------------------------------------------ *)
+(* The fast path: compile the function once into a closure-threaded    *)
+(* plan (slot-resolved variables, memoized static costs) and execute   *)
+(* it. See Plan for the machinery; callers that simulate the same      *)
+(* function repeatedly should build the plan once via Plan.compile (or *)
+(* use Masc.Compiler, which caches it per compilation).                *)
+(* ------------------------------------------------------------------ *)
+
+let run ?max_cycles ~isa ~mode (f : Mir.func) (args : xvalue list) : result =
+  Plan.execute ?max_cycles (Plan.compile ~isa ~mode f) args
+
+(* ------------------------------------------------------------------ *)
+(* The legacy tree-walking interpreter, kept as the executable         *)
+(* reference semantics: the differential test in test/test_vm.ml runs  *)
+(* every kernel on every target and mode through both paths and        *)
+(* demands bit-identical results.                                      *)
+(* ------------------------------------------------------------------ *)
 
 type cell = Creg of Value.t ref | Carr of Value.scalar array
 
@@ -65,10 +85,6 @@ let arr st v =
   | Carr a -> a
   | Creg _ -> fail "variable %s.%d used as an array" v.Mir.vname v.Mir.vid
 
-let scalar_of_value = function
-  | Value.Scalar s -> s
-  | Value.Vector _ -> fail "vector value used where a scalar was expected"
-
 let eval_operand st (op : Mir.operand) : Value.t =
   match op with
   | Mir.Ovar v -> !(reg st v)
@@ -84,25 +100,6 @@ let index_of st op n what =
   let i = V.to_int s in
   if i < 0 || i >= n then fail "%s index %d out of bounds [0, %d)" what i n;
   i
-
-(* Lane-wise application helpers for vector semantics. *)
-let lanewise2 f a b =
-  match (a, b) with
-  | Value.Vector x, Value.Vector y ->
-    if Array.length x <> Array.length y then fail "vector width mismatch";
-    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
-  | Value.Vector x, Value.Scalar s ->
-    Value.Vector (Array.map (fun xi -> f xi s) x)
-  | Value.Scalar s, Value.Vector y ->
-    Value.Vector (Array.map (fun yi -> f s yi) y)
-  | Value.Scalar x, Value.Scalar y -> Value.Scalar (f x y)
-
-let lanewise3 f a b c =
-  match (a, b, c) with
-  | Value.Vector x, Value.Vector y, Value.Vector z
-    when Array.length x = Array.length y && Array.length y = Array.length z ->
-    Value.Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i) z.(i)))
-  | _ -> fail "three-operand vector op requires equal widths"
 
 let eval_intrin st name (args : Value.t list) : Value.t =
   match Isa.find_named st.isa name with
@@ -174,23 +171,7 @@ let eval_intrin st name (args : Value.t list) : Value.t =
         Value.Scalar !acc
       | _ -> fail "reduce expects one vector operand"))
 
-let class_of_rvalue (rv : Mir.rvalue) =
-  match rv with
-  | Mir.Rbin (_, a, b) ->
-    let cplx (op : Mir.operand) =
-      match Mir.operand_ty op with
-      | Mir.Tscalar s | Mir.Tarray (s, _) ->
-        s.Mir.cplx = Masc_sema.Mtype.Complex
-    in
-    if cplx a || cplx b then "complex" else "alu"
-  | Mir.Runop _ -> "alu"
-  | Mir.Rmath _ -> "math"
-  | Mir.Rcomplex _ -> "complex"
-  | Mir.Rload _ -> "mem"
-  | Mir.Rmove _ -> "move"
-  | Mir.Rvload _ | Mir.Rvbroadcast _ | Mir.Rvreduce _ -> "simd"
-  | Mir.Rintrin (name, _) ->
-    if String.length name > 0 && name.[0] = 'c' then "complex-ise" else "simd"
+let class_of_rvalue = Cost.class_of_rvalue
 
 let eval_rvalue st (rv : Mir.rvalue) : Value.t =
   match rv with
@@ -239,85 +220,6 @@ let eval_rvalue st (rv : Mir.rvalue) : Value.t =
     | Value.Scalar _ -> fail "vreduce of a scalar")
   | Mir.Rintrin (name, args) ->
     eval_intrin st name (List.map (eval_operand st) args)
-
-let coerce_value (sty : Mir.scalar_ty) (v : Value.t) =
-  match v with
-  | Value.Scalar s -> Value.Scalar (V.coerce { sty with Mir.lanes = 1 } s)
-  | Value.Vector x ->
-    Value.Vector (Array.map (V.coerce { sty with Mir.lanes = 1 }) x)
-
-(* fprintf-style formatting with a flat queue of scalars; the format is
-   recycled as long as arguments remain, as MATLAB does. *)
-let render_format (fmt : string) (queue : Value.scalar list) : string =
-  let b = Buffer.create 64 in
-  let n = String.length fmt in
-  let args = ref queue in
-  let pop () =
-    match !args with
-    | [] -> None
-    | x :: rest ->
-      args := rest;
-      Some x
-  in
-  let one_pass () =
-    let i = ref 0 in
-    while !i < n do
-      let c = fmt.[!i] in
-      if c = '\\' && !i + 1 < n then begin
-        (match fmt.[!i + 1] with
-        | 'n' -> Buffer.add_char b '\n'
-        | 't' -> Buffer.add_char b '\t'
-        | '\\' -> Buffer.add_char b '\\'
-        | other ->
-          Buffer.add_char b '\\';
-          Buffer.add_char b other);
-        i := !i + 2
-      end
-      else if c = '%' && !i + 1 < n then begin
-        (* scan to the conversion character *)
-        let j = ref (!i + 1) in
-        while
-          !j < n
-          && not (String.contains "diufeEgGsx%" fmt.[!j])
-        do
-          incr j
-        done;
-        if !j < n && fmt.[!j] = '%' && !j = !i + 1 then Buffer.add_char b '%'
-        else if !j < n then begin
-          let spec = String.sub fmt !i (!j - !i + 1) in
-          match pop () with
-          | None -> Buffer.add_string b spec
-          | Some v -> (
-            match fmt.[!j] with
-            | 'd' | 'i' | 'u' | 'x' ->
-              Buffer.add_string b (string_of_int (V.to_int v))
-            | 's' -> Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)
-            | _ -> (
-              try
-                Buffer.add_string b
-                  (Printf.sprintf
-                     (Scanf.format_from_string spec "%f")
-                     (V.to_float v))
-              with _ ->
-                Buffer.add_string b (Format.asprintf "%a" V.pp_scalar v)))
-        end
-        else Buffer.add_char b '%';
-        i := !j + 1
-      end
-      else begin
-        Buffer.add_char b c;
-        incr i
-      end
-    done
-  in
-  one_pass ();
-  (* MATLAB recycles the format while arguments remain. *)
-  let guard = ref 0 in
-  while !args <> [] && !guard < 10000 do
-    incr guard;
-    one_pass ()
-  done;
-  Buffer.contents b
 
 let rec exec_block st (block : Mir.block) = List.iter (exec_instr st) block
 
@@ -379,25 +281,25 @@ and exec_instr st (instr : Mir.instr) =
       if continue_loop v then begin
         iv := Value.Scalar v;
         charge st "loop" (Cost.loop_iter_cost st.isa);
-        (try exec_block st body with Continue_exc -> ());
+        (try exec_block st body with Exec.Continue_exc -> ());
         go (next v)
       end
     in
-    (try go lo_v with Break_exc -> ());
+    (try go lo_v with Exec.Break_exc -> ());
     charge st "branch" (Cost.branch_cost st.isa)
   | Mir.Iwhile { cond_block; cond; body } ->
     let rec go () =
       exec_block st cond_block;
       charge st "branch" (Cost.branch_cost st.isa);
       if V.to_bool (eval_scalar st cond) then begin
-        (try exec_block st body with Continue_exc -> ());
+        (try exec_block st body with Exec.Continue_exc -> ());
         go ()
       end
     in
-    (try go () with Break_exc -> ())
-  | Mir.Ibreak -> raise Break_exc
-  | Mir.Icontinue -> raise Continue_exc
-  | Mir.Ireturn -> raise Return_exc
+    (try go () with Exec.Break_exc -> ())
+  | Mir.Ibreak -> raise Exec.Break_exc
+  | Mir.Icontinue -> raise Exec.Continue_exc
+  | Mir.Ireturn -> raise Exec.Return_exc
   | Mir.Iprint (fmt, ops) ->
     let flat =
       List.concat_map
@@ -418,7 +320,7 @@ and exec_instr st (instr : Mir.instr) =
     if String.length text >= 6 && String.sub text 0 6 = "inline" then
       charge st "call" (Cost.call_boundary_cost st.isa st.mode)
 
-let run ?(max_cycles = 4_000_000_000) ~isa ~mode (f : Mir.func)
+let run_tree ?(max_cycles = 4_000_000_000) ~isa ~mode (f : Mir.func)
     (args : xvalue list) : result =
   if List.length args <> List.length f.Mir.params then
     fail "%s expects %d arguments, received %d" f.Mir.name
@@ -441,7 +343,7 @@ let run ?(max_cycles = 4_000_000_000) ~isa ~mode (f : Mir.func)
       | Mir.Tscalar _, Xarray _ | Mir.Tarray _, Xscalar _ ->
         fail "argument %s: scalar/array mismatch" p.Mir.vname)
     f.Mir.params args;
-  (try exec_block st f.Mir.body with Return_exc -> ());
+  (try exec_block st f.Mir.body with Exec.Return_exc -> ());
   let rets =
     List.map
       (fun (r : Mir.var) ->

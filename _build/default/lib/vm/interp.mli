@@ -4,13 +4,22 @@
     charging every dynamic event through {!Masc_asip.Cost_model}. This
     stands in for the paper's ASIP and its cycle-accurate simulator: the
     proposed compiler's output and the MATLAB-Coder-style baseline run on
-    the same core model, so their cycle ratio is the paper's speedup. *)
+    the same core model, so their cycle ratio is the paper's speedup.
 
-type xvalue =
+    Two back ends share these semantics:
+
+    - {!run} compiles the function to a closure-threaded {!Plan} and
+      executes it — the fast default;
+    - {!run_tree} is the legacy tree-walking interpreter, kept as the
+      executable reference. The differential test in [test/test_vm.ml]
+      pins the two to bit-identical results on every kernel, target and
+      mode. *)
+
+type xvalue = Exec.xvalue =
   | Xscalar of Value.scalar
   | Xarray of Value.scalar array
 
-type result = {
+type result = Exec.result = {
   rets : xvalue list;
   cycles : int;
   dyn_instrs : int;  (** dynamic instruction count *)
@@ -23,8 +32,22 @@ exception Runtime_error of string
 (** [run ~isa ~mode f args] executes [f]. [args] bind to parameters by
     position; array arguments are copied in. Raises {!Runtime_error} on
     dynamic failures (index out of bounds, division by zero in index
-    arithmetic, cycle budget exceeded). *)
+    arithmetic, cycle budget exceeded).
+
+    Builds a fresh {!Plan} per call; callers that simulate the same
+    function repeatedly should compile the plan once ({!Plan.compile} or
+    [Masc.Compiler.run], which caches it). *)
 val run :
+  ?max_cycles:int ->
+  isa:Masc_asip.Isa.t ->
+  mode:Masc_asip.Cost_model.mode ->
+  Masc_mir.Mir.func ->
+  xvalue list ->
+  result
+
+(** The legacy tree-walking interpreter (reference semantics); same
+    contract as {!run}, several times slower. *)
+val run_tree :
   ?max_cycles:int ->
   isa:Masc_asip.Isa.t ->
   mode:Masc_asip.Cost_model.mode ->

@@ -1,0 +1,873 @@
+(* Closure-threaded execution plans.
+
+   [compile] walks a MIR function ONCE and produces a program of OCaml
+   closures ([state -> unit]), paying all loop-invariant interpretation
+   costs at plan time instead of per executed instruction:
+
+   - variables are resolved to dense integer slots in pre-sized arrays
+     (a numbering pre-pass over params, rets and all defs) instead of
+     per-access [Hashtbl] lookups;
+   - the per-instruction cycle cost and histogram class are computed
+     statically via {!Masc_asip.Cost_model} (costs depend only on the
+     rvalue shape, ISA and mode — never on runtime values) and captured
+     in the closure, as is the intrinsic description (no per-call
+     [find_named] scan);
+   - hot shapes get specialized fast paths: integer [for]-loops with
+     constant bounds, scalar [Rbin] on real doubles, and loads/stores
+     with pre-fetched element types and statically checked constant
+     indices.
+
+   Execution is bit-identical to the legacy tree-walker
+   ({!Interp.run_tree}): same results, cycles, dynamic instruction
+   counts, output, error messages, and even the same histogram ordering
+   (the class histogram is rebuilt through an identically-populated
+   [Hashtbl] so fold order matches). The differential test in
+   [test/test_vm.ml] enforces this over every kernel, target and mode. *)
+
+module Mir = Masc_mir.Mir
+module Isa = Masc_asip.Isa
+module Cost = Masc_asip.Cost_model
+module MT = Masc_sema.Mtype
+module V = Value
+open Exec
+
+(* ---------------- runtime state ---------------- *)
+
+type state = {
+  regs : Value.t array;  (* scalar/vector registers, by register slot *)
+  arrs : Value.scalar array array;  (* arrays, by array slot *)
+  mutable cycles : int;
+  mutable dyn : int;
+  max_cycles : int;
+  hist : int array;  (* cycles charged, by interned class id *)
+  seen : bool array;  (* class id charged at least once *)
+  mutable order : int list;  (* class ids, reverse first-charge order *)
+  out : Buffer.t;
+}
+
+let charge st cls cycles =
+  st.cycles <- st.cycles + cycles;
+  st.dyn <- st.dyn + 1;
+  if not (Array.unsafe_get st.seen cls) then begin
+    Array.unsafe_set st.seen cls true;
+    st.order <- cls :: st.order
+  end;
+  Array.unsafe_set st.hist cls (Array.unsafe_get st.hist cls + cycles);
+  if st.cycles > st.max_cycles then
+    fail "cycle budget exceeded (%d); possible runaway loop" st.max_cycles
+
+(* ---------------- slots and plan-time environment ---------------- *)
+
+type slot = Sreg of int | Sarr of int
+
+type arr_spec = {
+  alen : int;
+  azero : Value.scalar;
+  aparam : bool;  (* filled by argument binding; skip the zero fill *)
+}
+
+type env = {
+  isa : Isa.t;
+  mode : Cost.mode;
+  slots : (int, slot) Hashtbl.t;  (* vid -> slot *)
+  arr_lens : int array;
+  cls_ids : (string, int) Hashtbl.t;
+  mutable cls_rev : string list;  (* reversed interned class names *)
+  mutable ncls : int;
+}
+
+let slot_of env (v : Mir.var) =
+  match Hashtbl.find_opt env.slots v.Mir.vid with
+  | Some s -> s
+  | None -> assert false (* the numbering pre-pass visited every var *)
+
+let class_id env name =
+  match Hashtbl.find_opt env.cls_ids name with
+  | Some i -> i
+  | None ->
+    let i = env.ncls in
+    Hashtbl.add env.cls_ids name i;
+    env.cls_rev <- name :: env.cls_rev;
+    env.ncls <- i + 1;
+    i
+
+(* ---------------- operand compilation ---------------- *)
+
+type copnd =
+  | Creg of int  (* register slot *)
+  | Cconst of Value.t
+  | Cbad of string  (* fails when evaluated, like the tree-walker *)
+
+let classify env (op : Mir.operand) : copnd =
+  match op with
+  | Mir.Oconst (Mir.Cf f) -> Cconst (Value.Scalar (V.Sf f))
+  | Mir.Oconst (Mir.Ci i) -> Cconst (Value.Scalar (V.Si i))
+  | Mir.Oconst (Mir.Cb b) -> Cconst (Value.Scalar (V.Sb b))
+  | Mir.Oconst (Mir.Cc z) -> Cconst (Value.Scalar (V.Sc z))
+  | Mir.Ovar v -> (
+    match slot_of env v with
+    | Sreg s -> Creg s
+    | Sarr _ ->
+      Cbad
+        (Printf.sprintf "variable %s.%d used as a register" v.Mir.vname
+           v.Mir.vid))
+
+let value_fn env op : state -> Value.t =
+  match classify env op with
+  | Creg s -> fun st -> Array.unsafe_get st.regs s
+  | Cconst v -> fun _ -> v
+  | Cbad msg -> fun _ -> raise (Runtime_error msg)
+
+let scalar_fn env op : state -> Value.scalar =
+  match classify env op with
+  | Creg s -> (
+    fun st ->
+      match Array.unsafe_get st.regs s with
+      | Value.Scalar x -> x
+      | Value.Vector _ -> fail "vector value used where a scalar was expected")
+  | Cconst (Value.Scalar x) -> fun _ -> x
+  | Cconst (Value.Vector _) ->
+    fun _ -> fail "vector value used where a scalar was expected"
+  | Cbad msg -> fun _ -> raise (Runtime_error msg)
+
+(* Array operand: slot plus static length, or the runtime failure the
+   tree-walker would produce. *)
+let arr_ref env (v : Mir.var) : (int * int, string) Stdlib.result =
+  match slot_of env v with
+  | Sarr s -> Ok (s, env.arr_lens.(s))
+  | Sreg _ ->
+    Error
+      (Printf.sprintf "variable %s.%d used as an array" v.Mir.vname v.Mir.vid)
+
+let static_int env op =
+  match classify env op with
+  | Cconst (Value.Scalar x) -> ( try Some (V.to_int x) with _ -> None)
+  | _ -> None
+
+(* Index evaluation with bounds check; constant indices are checked at
+   plan time and cost nothing at run time. *)
+let index_fn env op ~len ~what : state -> int =
+  match classify env op with
+  | Cconst (Value.Scalar x) -> (
+    match V.to_int x with
+    | i ->
+      if i < 0 || i >= len then fun _ ->
+        fail "%s index %d out of bounds [0, %d)" what i len
+      else fun _ -> i
+    | exception e -> fun _ -> raise e)
+  | Cconst (Value.Vector _) ->
+    fun _ -> fail "vector value used where a scalar was expected"
+  | Creg s -> (
+    fun st ->
+      match Array.unsafe_get st.regs s with
+      | Value.Scalar x ->
+        let i = V.to_int x in
+        if i < 0 || i >= len then
+          fail "%s index %d out of bounds [0, %d)" what i len;
+        i
+      | Value.Vector _ -> fail "vector value used where a scalar was expected")
+  | Cbad msg -> fun _ -> raise (Runtime_error msg)
+
+(* ---------------- rvalue compilation ---------------- *)
+
+let is_real_double_scalar (op : Mir.operand) =
+  match Mir.operand_ty op with
+  | Mir.Tscalar
+      { Mir.base = MT.Double; cplx = MT.Real; lanes = 1 } ->
+    true
+  | _ -> false
+
+let float_fast = function
+  | Mir.Badd -> Some ( +. )
+  | Mir.Bsub -> Some ( -. )
+  | Mir.Bmul -> Some ( *. )
+  | Mir.Bdiv -> Some ( /. )
+  | _ -> None
+
+(* Per-lane fast path: [V.binop] on two real-double lanes reduces by
+   definition to [Sf (f x y)] with the raw float operator ([fop] in
+   Value), so matching the [Sf] constructors first is bit-identical and
+   skips the complex/int-like dispatch chain. *)
+let lane2_fast op =
+  let g = V.binop op in
+  match float_fast op with
+  | Some f -> (
+    fun a b ->
+      match (a, b) with V.Sf x, V.Sf y -> V.Sf (f x y) | _ -> g a b)
+  | None -> g
+
+let compile_rbin env op a b : state -> Value.t =
+  let vb = lane2_fast op in
+  let ca = classify env a and cb = classify env b in
+  let generic () =
+    let fa = value_fn env a and fb = value_fn env b in
+    fun st ->
+      let va = fa st in
+      let vbv = fb st in
+      lanewise2 vb va vbv
+  in
+  (* Scalar [Rbin] on real doubles: the dominant shape in the DSP
+     kernels. Both operands are statically real-double scalars, so the
+     registers always hold [Scalar (Sf _)] (writes coerce); compute with
+     raw float arithmetic, keeping the generic lane-wise path as the
+     (never-taken in well-typed MIR) fallback. *)
+  match float_fast op with
+  | Some f when is_real_double_scalar a && is_real_double_scalar b -> (
+    match (ca, cb) with
+    | Creg sa, Creg sb -> (
+      fun st ->
+        match (Array.unsafe_get st.regs sa, Array.unsafe_get st.regs sb) with
+        | Value.Scalar (V.Sf x), Value.Scalar (V.Sf y) ->
+          Value.Scalar (V.Sf (f x y))
+        | va, vbv -> lanewise2 vb va vbv)
+    | Creg sa, Cconst (Value.Scalar (V.Sf y) as cv) -> (
+      fun st ->
+        match Array.unsafe_get st.regs sa with
+        | Value.Scalar (V.Sf x) -> Value.Scalar (V.Sf (f x y))
+        | va -> lanewise2 vb va cv)
+    | Cconst (Value.Scalar (V.Sf x) as cv), Creg sb -> (
+      fun st ->
+        match Array.unsafe_get st.regs sb with
+        | Value.Scalar (V.Sf y) -> Value.Scalar (V.Sf (f x y))
+        | vbv -> lanewise2 vb cv vbv)
+    | _ -> generic ())
+  | _ -> (
+    (* Generic shapes: still skip the operand-fetch indirection when
+       both operands are registers. *)
+    match (ca, cb) with
+    | Creg sa, Creg sb ->
+      fun st ->
+        lanewise2 vb
+          (Array.unsafe_get st.regs sa)
+          (Array.unsafe_get st.regs sb)
+    | Creg sa, Cconst cv -> fun st -> lanewise2 vb (Array.unsafe_get st.regs sa) cv
+    | Cconst cv, Creg sb -> fun st -> lanewise2 vb cv (Array.unsafe_get st.regs sb)
+    | _ -> generic ())
+
+let compile_intrin env name args : state -> Value.t =
+  let fargs = List.map (value_fn env) args in
+  (* The tree-walker evaluates every operand (left to right) before
+     looking at the intrinsic, so failure closures must do the same. *)
+  let eval_all_then k st =
+    let vals = List.map (fun f -> f st) fargs in
+    k vals
+  in
+  let failure msg = eval_all_then (fun _ -> raise (Runtime_error msg)) in
+  match Isa.find_named env.isa name with
+  | None ->
+    failure
+      (Printf.sprintf "target %s has no intrinsic %s" env.isa.Isa.tname name)
+  | Some desc -> (
+    let bin2 op =
+      match fargs with
+      | [ fa; fb ] ->
+        let f = lane2_fast op in
+        fun st ->
+          let va = fa st in
+          let vbv = fb st in
+          lanewise2 f va vbv
+      | _ -> failure (Printf.sprintf "%s expects 2 operands" name)
+    in
+    match desc.Isa.kind with
+    | Isa.Ksimd_add -> bin2 Mir.Badd
+    | Isa.Ksimd_sub -> bin2 Mir.Bsub
+    | Isa.Ksimd_mul -> bin2 Mir.Bmul
+    | Isa.Ksimd_div -> bin2 Mir.Bdiv
+    | Isa.Ksimd_min -> bin2 Mir.Bmin
+    | Isa.Ksimd_max -> bin2 Mir.Bmax
+    | Isa.Kmac -> (
+      match fargs with
+      | [ facc; fa; fb ] ->
+        (* binop Bmul (Sf a) (Sf b) = Sf (a *. b), then binop Badd on two
+           Sf is Sf (+.): the fused lane below is the same float op
+           sequence, constructor-matched first. *)
+        let mac acc a b =
+          match (acc, a, b) with
+          | V.Sf acc, V.Sf x, V.Sf y -> V.Sf (acc +. (x *. y))
+          | _ -> V.binop Mir.Badd acc (V.binop Mir.Bmul a b)
+        in
+        fun st ->
+          let vacc = facc st in
+          let va = fa st in
+          let vbv = fb st in
+          lanewise3 mac vacc va vbv
+      | _ -> failure "mac expects 3 operands")
+    | Isa.Kcmul -> (
+      match fargs with
+      | [ fa; fb ] ->
+        fun st ->
+          let va = fa st in
+          let vbv = fb st in
+          Value.Scalar
+            (V.Sc
+               (Complex.mul
+                  (V.to_complex (scalar_of_value va))
+                  (V.to_complex (scalar_of_value vbv))))
+      | _ -> failure "cmul expects 2 operands")
+    | Isa.Kcmac -> (
+      match fargs with
+      | [ facc; fa; fb ] ->
+        fun st ->
+          let vacc = facc st in
+          let va = fa st in
+          let vbv = fb st in
+          Value.Scalar
+            (V.Sc
+               (Complex.add
+                  (V.to_complex (scalar_of_value vacc))
+                  (Complex.mul
+                     (V.to_complex (scalar_of_value va))
+                     (V.to_complex (scalar_of_value vbv)))))
+      | _ -> failure "cmac expects 3 operands")
+    | Isa.Kcadd -> (
+      match fargs with
+      | [ fa; fb ] ->
+        fun st ->
+          let va = fa st in
+          let vbv = fb st in
+          Value.Scalar
+            (V.Sc
+               (Complex.add
+                  (V.to_complex (scalar_of_value va))
+                  (V.to_complex (scalar_of_value vbv))))
+      | _ -> failure "cadd expects 2 operands")
+    | Isa.Kload | Isa.Kstore | Isa.Kbroadcast ->
+      failure
+        (Printf.sprintf "%s: memory intrinsics are expressed as Rvload/Ivstore"
+           name)
+    | Isa.Kreduce_add | Isa.Kreduce_min | Isa.Kreduce_max -> (
+      let combine =
+        match desc.Isa.kind with
+        | Isa.Kreduce_add -> lane2_fast Mir.Badd
+        | Isa.Kreduce_min -> V.binop Mir.Bmin
+        | _ -> V.binop Mir.Bmax
+      in
+      match fargs with
+      | [ fa ] -> (
+        fun st ->
+          match fa st with
+          | Value.Vector x ->
+            let acc = ref x.(0) in
+            for i = 1 to Array.length x - 1 do
+              acc := combine !acc x.(i)
+            done;
+            Value.Scalar !acc
+          | Value.Scalar _ -> fail "reduce expects one vector operand")
+      | _ -> failure "reduce expects one vector operand"))
+
+let compile_rvalue env (rv : Mir.rvalue) : state -> Value.t =
+  match rv with
+  | Mir.Rbin (op, a, b) -> compile_rbin env op a b
+  | Mir.Runop (op, a) -> (
+    let u = V.unop op in
+    match classify env a with
+    | Creg s -> (
+      fun st ->
+        match Array.unsafe_get st.regs s with
+        | Value.Scalar x -> Value.Scalar (u x)
+        | Value.Vector x -> Value.Vector (Array.map u x))
+    | Cconst (Value.Scalar x) -> fun _ -> Value.Scalar (u x)
+    | Cconst (Value.Vector x) -> fun _ -> Value.Vector (Array.map u x)
+    | Cbad msg -> fun _ -> raise (Runtime_error msg))
+  | Mir.Rmath (name, args) ->
+    let gs = List.map (scalar_fn env) args in
+    fun st -> Value.Scalar (V.math name (List.map (fun g -> g st) gs))
+  | Mir.Rcomplex (re, im) ->
+    let gre = scalar_fn env re and gim = scalar_fn env im in
+    fun st ->
+      Value.Scalar
+        (V.Sc
+           { Complex.re = V.to_float (gre st); im = V.to_float (gim st) })
+  | Mir.Rload (a, idx) -> (
+    match arr_ref env a with
+    | Error msg -> fun _ -> raise (Runtime_error msg)
+    | Ok (s, len) ->
+      let gi = index_fn env idx ~len ~what:a.Mir.vname in
+      fun st ->
+        let i = gi st in
+        Value.Scalar (Array.unsafe_get (Array.unsafe_get st.arrs s) i))
+  | Mir.Rmove a -> value_fn env a
+  | Mir.Rvload (a, base, lanes) -> (
+    match arr_ref env a with
+    | Error msg -> fun _ -> raise (Runtime_error msg)
+    | Ok (s, len) -> (
+      match static_int env base with
+      | Some b when b >= 0 && b < len && b + lanes <= len ->
+        (* bounds proven at plan time *)
+        fun st -> Value.Vector (Array.sub (Array.unsafe_get st.arrs s) b lanes)
+      | _ ->
+        let gb = index_fn env base ~len ~what:a.Mir.vname in
+        let name = a.Mir.vname in
+        fun st ->
+          let b = gb st in
+          if b + lanes > len then fail "vector load past end of %s" name;
+          Value.Vector (Array.sub (Array.unsafe_get st.arrs s) b lanes)))
+  | Mir.Rvbroadcast (a, lanes) ->
+    let g = scalar_fn env a in
+    fun st -> Value.Vector (Array.make lanes (g st))
+  | Mir.Rvreduce (r, a) -> (
+    let combine =
+      match r with
+      | Mir.Vsum -> lane2_fast Mir.Badd
+      | Mir.Vprod -> lane2_fast Mir.Bmul
+      | Mir.Vmin -> V.binop Mir.Bmin
+      | Mir.Vmax -> V.binop Mir.Bmax
+    in
+    let fa = value_fn env a in
+    fun st ->
+      match fa st with
+      | Value.Vector x ->
+        let acc = ref x.(0) in
+        for i = 1 to Array.length x - 1 do
+          acc := combine !acc x.(i)
+        done;
+        Value.Scalar !acc
+      | Value.Scalar _ -> fail "vreduce of a scalar")
+  | Mir.Rintrin (name, args) -> compile_intrin env name args
+
+(* Write-side coercion with an identity fast path: when the value is
+   already a scalar of the declared representation, [coerce] would
+   rebuild an equal value — skip the allocation. *)
+let coerce_fast (sty : Mir.scalar_ty) : Value.t -> Value.t =
+  match (sty.Mir.cplx, sty.Mir.base) with
+  | MT.Complex, _ -> (
+    function Value.Scalar (V.Sc _) as v -> v | v -> coerce_value sty v)
+  | MT.Real, MT.Double -> (
+    function Value.Scalar (V.Sf _) as v -> v | v -> coerce_value sty v)
+  | MT.Real, MT.Int -> (
+    function Value.Scalar (V.Si _) as v -> v | v -> coerce_value sty v)
+  | MT.Real, MT.Bool -> (
+    function Value.Scalar (V.Sb _) as v -> v | v -> coerce_value sty v)
+
+(* ---------------- instruction compilation ---------------- *)
+
+let rec compile_block env (block : Mir.block) : state -> unit =
+  match List.map (compile_instr env) block with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | [ f1; f2 ] ->
+    fun st ->
+      f1 st;
+      f2 st
+  | [ f1; f2; f3 ] ->
+    fun st ->
+      f1 st;
+      f2 st;
+      f3 st
+  | fs ->
+    let a = Array.of_list fs in
+    let n = Array.length a in
+    fun st ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get a i) st
+      done
+
+and compile_instr env (instr : Mir.instr) : state -> unit =
+  match instr with
+  | Mir.Idef (v, rv) -> (
+    let frv = compile_rvalue env rv in
+    let cls = class_id env (Cost.class_of_rvalue rv) in
+    (* Static cost; [None] only for an intrinsic the target lacks, in
+       which case [frv] raises before the charge is reached. *)
+    let cost =
+      match Cost.def_cost_opt env.isa env.mode rv with Some c -> c | None -> 0
+    in
+    let sty = Mir.elem_ty v in
+    let co = coerce_fast sty in
+    match slot_of env v with
+    | Sreg s ->
+      fun st ->
+        let value = frv st in
+        charge st cls cost;
+        Array.unsafe_set st.regs s (co value)
+    | Sarr _ ->
+      (* the tree-walker fails when it fetches the target as a register,
+         after evaluating and charging *)
+      let msg =
+        Printf.sprintf "variable %s.%d used as a register" v.Mir.vname
+          v.Mir.vid
+      in
+      fun st ->
+        let _value = frv st in
+        charge st cls cost;
+        raise (Runtime_error msg))
+  | Mir.Istore (a, idx, x) -> (
+    match arr_ref env a with
+    | Error msg -> fun _ -> raise (Runtime_error msg)
+    | Ok (s, len) ->
+      let gi = index_fn env idx ~len ~what:a.Mir.vname in
+      let gx = scalar_fn env x in
+      let sty = Mir.elem_ty a in
+      let co = V.coerce sty in
+      let cls = class_id env "mem" in
+      let cost =
+        Cost.store_cost env.isa env.mode ~cplx:(sty.Mir.cplx = MT.Complex)
+      in
+      fun st ->
+        let i = gi st in
+        let v = gx st in
+        Array.unsafe_set (Array.unsafe_get st.arrs s) i (co v);
+        charge st cls cost)
+  | Mir.Ivstore (a, base, x, lanes) -> (
+    match arr_ref env a with
+    | Error msg -> fun _ -> raise (Runtime_error msg)
+    | Ok (s, len) ->
+      let fx = value_fn env x in
+      let sty = Mir.elem_ty a in
+      let co = V.coerce sty in
+      let cls = class_id env "simd" in
+      let cost = Cost.vstore_cost env.isa in
+      let name = a.Mir.vname in
+      let store_vec st arr b (vec : Value.scalar array) =
+        for k = 0 to lanes - 1 do
+          Array.unsafe_set arr (b + k) (co (Array.unsafe_get vec k))
+        done;
+        charge st cls cost
+      in
+      (match static_int env base with
+      | Some b when b >= 0 && b < len && b + lanes <= len -> (
+        fun st ->
+          match fx st with
+          | Value.Vector vec when Array.length vec = lanes ->
+            store_vec st (Array.unsafe_get st.arrs s) b vec
+          | Value.Vector _ -> fail "vector store width mismatch"
+          | Value.Scalar _ -> fail "vector store of a scalar")
+      | _ ->
+        let gb = index_fn env base ~len ~what:name in
+        fun st ->
+          let b = gb st in
+          if b + lanes > len then fail "vector store past end of %s" name;
+          (match fx st with
+          | Value.Vector vec when Array.length vec = lanes ->
+            store_vec st (Array.unsafe_get st.arrs s) b vec
+          | Value.Vector _ -> fail "vector store width mismatch"
+          | Value.Scalar _ -> fail "vector store of a scalar")))
+  | Mir.Iif (c, then_b, else_b) ->
+    let gc = scalar_fn env c in
+    let ft = compile_block env then_b and fe = compile_block env else_b in
+    let cls = class_id env "branch" in
+    let cost = Cost.branch_cost env.isa in
+    fun st ->
+      charge st cls cost;
+      if V.to_bool (gc st) then ft st else fe st
+  | Mir.Iloop { ivar; lo; step; hi; body } -> compile_loop env ivar lo step hi body
+  | Mir.Iwhile { cond_block; cond; body } ->
+    let fcond_b = compile_block env cond_block in
+    let gc = scalar_fn env cond in
+    let fbody = compile_block env body in
+    let cls = class_id env "branch" in
+    let cost = Cost.branch_cost env.isa in
+    fun st ->
+      (try
+         let continue_ = ref true in
+         while !continue_ do
+           fcond_b st;
+           charge st cls cost;
+           if V.to_bool (gc st) then (
+             try fbody st with Continue_exc -> ())
+           else continue_ := false
+         done
+       with Break_exc -> ())
+  | Mir.Ibreak -> fun _ -> raise Break_exc
+  | Mir.Icontinue -> fun _ -> raise Continue_exc
+  | Mir.Ireturn -> fun _ -> raise Return_exc
+  | Mir.Iprint (fmt, ops) -> (
+    let fetchers =
+      List.map
+        (fun op ->
+          match op with
+          | Mir.Ovar v when Mir.is_array v -> (
+            match arr_ref env v with
+            | Ok (s, _) ->
+              fun st -> Array.to_list (Array.unsafe_get st.arrs s)
+            | Error msg -> fun _ -> raise (Runtime_error msg))
+          | _ ->
+            let g = scalar_fn env op in
+            fun st -> [ g st ])
+        ops
+    in
+    let flatten st = List.concat_map (fun fetch -> fetch st) fetchers in
+    match fmt with
+    | Some f -> fun st -> Buffer.add_string st.out (render_format f (flatten st))
+    | None ->
+      fun st ->
+        List.iter
+          (fun s ->
+            Buffer.add_string st.out (Format.asprintf "%a " V.pp_scalar s))
+          (flatten st);
+        Buffer.add_char st.out '\n')
+  | Mir.Icomment text ->
+    if String.length text >= 6 && String.sub text 0 6 = "inline" then (
+      let cls = class_id env "call" in
+      let cost = Cost.call_boundary_cost env.isa env.mode in
+      fun st -> charge st cls cost)
+    else fun _ -> ()
+
+and compile_loop env (ivar : Mir.var) lo step hi body : state -> unit =
+  let fbody = compile_block env body in
+  let lcls = class_id env "loop" in
+  let lcost = Cost.loop_iter_cost env.isa in
+  let bcls = class_id env "branch" in
+  let bcost = Cost.branch_cost env.isa in
+  let const_int = function Mir.Oconst (Mir.Ci i) -> Some i | _ -> None in
+  match (slot_of env ivar, const_int lo, const_int step, const_int hi) with
+  | Sreg iv, Some l, Some s, Some h ->
+    (* Fast path: integer loop with constant bounds. Trip direction is
+       known at plan time; the induction value stays an unboxed int. *)
+    if s >= 0 then
+      fun st ->
+        (try
+           let v = ref l in
+           while !v <= h do
+             Array.unsafe_set st.regs iv (Value.Scalar (V.Si !v));
+             charge st lcls lcost;
+             (try fbody st with Continue_exc -> ());
+             v := !v + s
+           done
+         with Break_exc -> ());
+        charge st bcls bcost
+    else
+      fun st ->
+        (try
+           let v = ref l in
+           while !v >= h do
+             Array.unsafe_set st.regs iv (Value.Scalar (V.Si !v));
+             charge st lcls lcost;
+             (try fbody st with Continue_exc -> ());
+             v := !v + s
+           done
+         with Break_exc -> ());
+        charge st bcls bcost
+  | ivslot, _, _, _ ->
+    let glo = scalar_fn env lo
+    and gstep = scalar_fn env step
+    and ghi = scalar_fn env hi in
+    let iv_write =
+      match ivslot with
+      | Sreg s ->
+        fun st v -> Array.unsafe_set st.regs s v
+      | Sarr _ ->
+        let msg =
+          Printf.sprintf "variable %s.%d used as a register" ivar.Mir.vname
+            ivar.Mir.vid
+        in
+        fun _ _ -> raise (Runtime_error msg)
+    in
+    fun st ->
+      let lo_v = glo st in
+      let step_v = gstep st in
+      let hi_v = ghi st in
+      let int_loop =
+        match (lo_v, step_v, hi_v) with
+        | (V.Si _ | V.Sb _), (V.Si _ | V.Sb _), (V.Si _ | V.Sb _) -> true
+        | _ -> false
+      in
+      (* the tree-walker fetches the induction register before the first
+         bound test, so an array induction variable fails even for
+         zero-trip loops *)
+      (match ivslot with
+      | Sarr _ -> iv_write st (Value.Scalar lo_v)
+      | Sreg _ -> ());
+      let continue_loop v =
+        if int_loop then
+          if V.to_int step_v >= 0 then V.to_int v <= V.to_int hi_v
+          else V.to_int v >= V.to_int hi_v
+        else if V.to_float step_v >= 0.0 then V.to_float v <= V.to_float hi_v
+        else V.to_float v >= V.to_float hi_v
+      in
+      let next v =
+        if int_loop then V.Si (V.to_int v + V.to_int step_v)
+        else V.Sf (V.to_float v +. V.to_float step_v)
+      in
+      let rec go v =
+        if continue_loop v then begin
+          iv_write st (Value.Scalar v);
+          charge st lcls lcost;
+          (try fbody st with Continue_exc -> ());
+          go (next v)
+        end
+      in
+      (try go lo_v with Break_exc -> ());
+      charge st bcls bcost
+
+(* ---------------- whole-function plans ---------------- *)
+
+type bind =
+  | Breg of int * Mir.scalar_ty * string  (* slot, coercion, name *)
+  | Barr of int * Mir.scalar_ty * int * string  (* slot, coercion, length, name *)
+
+type t = {
+  fname : string;
+  nparams : int;
+  binds : bind list;
+  ret_slots : slot list;
+  reg_init : Value.t array;  (* initial register file (zeros per type) *)
+  arr_specs : arr_spec array;
+  classes : string array;  (* interned class id -> name *)
+  body_fn : state -> unit;
+}
+
+let compile ~isa ~mode (f : Mir.func) : t =
+  (* Slot-numbering pre-pass: params, rets, declared vars, then a
+     defensive body walk (the tree-walker materializes cells lazily for
+     any vid it meets, so the plan must cover the same set). *)
+  let slots = Hashtbl.create 64 in
+  let param_vids = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Mir.var) -> Hashtbl.replace param_vids p.Mir.vid ())
+    f.Mir.params;
+  let reg_inits = ref [] and nregs = ref 0 in
+  let arr_specs = ref [] and narrs = ref 0 in
+  let add (v : Mir.var) =
+    if not (Hashtbl.mem slots v.Mir.vid) then
+      match v.Mir.vty with
+      | Mir.Tscalar sty ->
+        Hashtbl.add slots v.Mir.vid (Sreg !nregs);
+        reg_inits := Value.Scalar (V.coerce sty (V.Si 0)) :: !reg_inits;
+        incr nregs
+      | Mir.Tarray (sty, n) ->
+        Hashtbl.add slots v.Mir.vid (Sarr !narrs);
+        arr_specs :=
+          { alen = n;
+            azero = V.coerce sty (V.Si 0);
+            aparam = Hashtbl.mem param_vids v.Mir.vid }
+          :: !arr_specs;
+        incr narrs
+  in
+  let scan_op = function Mir.Ovar v -> add v | Mir.Oconst _ -> () in
+  let scan_rvalue = function
+    | Mir.Rbin (_, a, b) ->
+      scan_op a;
+      scan_op b
+    | Mir.Runop (_, a) | Mir.Rmove a | Mir.Rvbroadcast (a, _)
+    | Mir.Rvreduce (_, a) ->
+      scan_op a
+    | Mir.Rmath (_, ops) | Mir.Rintrin (_, ops) -> List.iter scan_op ops
+    | Mir.Rcomplex (re, im) ->
+      scan_op re;
+      scan_op im
+    | Mir.Rload (a, idx) ->
+      add a;
+      scan_op idx
+    | Mir.Rvload (a, base, _) ->
+      add a;
+      scan_op base
+  in
+  let rec scan_block b = List.iter scan_instr b
+  and scan_instr = function
+    | Mir.Idef (v, rv) ->
+      add v;
+      scan_rvalue rv
+    | Mir.Istore (a, idx, x) ->
+      add a;
+      scan_op idx;
+      scan_op x
+    | Mir.Ivstore (a, base, x, _) ->
+      add a;
+      scan_op base;
+      scan_op x
+    | Mir.Iif (c, t, e) ->
+      scan_op c;
+      scan_block t;
+      scan_block e
+    | Mir.Iloop { ivar; lo; step; hi; body } ->
+      add ivar;
+      scan_op lo;
+      scan_op step;
+      scan_op hi;
+      scan_block body
+    | Mir.Iwhile { cond_block; cond; body } ->
+      scan_block cond_block;
+      scan_op cond;
+      scan_block body
+    | Mir.Iprint (_, ops) -> List.iter scan_op ops
+    | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> ()
+  in
+  List.iter add f.Mir.params;
+  List.iter add f.Mir.rets;
+  List.iter add f.Mir.vars;
+  scan_block f.Mir.body;
+  let arr_spec_arr = Array.of_list (List.rev !arr_specs) in
+  let env =
+    { isa; mode; slots;
+      arr_lens = Array.map (fun a -> a.alen) arr_spec_arr;
+      cls_ids = Hashtbl.create 16; cls_rev = []; ncls = 0 }
+  in
+  let body_fn = compile_block env f.Mir.body in
+  let slot_of_var (v : Mir.var) =
+    match Hashtbl.find_opt slots v.Mir.vid with
+    | Some s -> s
+    | None -> assert false
+  in
+  let binds =
+    List.map
+      (fun (p : Mir.var) ->
+        match (slot_of_var p, p.Mir.vty) with
+        | Sreg s, Mir.Tscalar sty -> Breg (s, sty, p.Mir.vname)
+        | Sarr s, Mir.Tarray (sty, n) -> Barr (s, sty, n, p.Mir.vname)
+        | _ -> assert false)
+      f.Mir.params
+  in
+  { fname = f.Mir.name;
+    nparams = List.length f.Mir.params;
+    binds;
+    ret_slots = List.map slot_of_var f.Mir.rets;
+    reg_init = Array.of_list (List.rev !reg_inits);
+    arr_specs = arr_spec_arr;
+    classes = Array.of_list (List.rev env.cls_rev);
+    body_fn }
+
+let execute ?(max_cycles = 4_000_000_000) (p : t) (args : xvalue list) : result
+    =
+  if List.length args <> p.nparams then
+    fail "%s expects %d arguments, received %d" p.fname p.nparams
+      (List.length args);
+  let ncls = Array.length p.classes in
+  let st =
+    { regs = Array.copy p.reg_init;
+      arrs =
+        Array.map
+          (fun spec ->
+            (* parameter arrays are overwritten whole by binding *)
+            if spec.aparam then [||] else Array.make spec.alen spec.azero)
+          p.arr_specs;
+      cycles = 0; dyn = 0; max_cycles;
+      hist = Array.make ncls 0; seen = Array.make ncls false; order = [];
+      out = Buffer.create 256 }
+  in
+  List.iter2
+    (fun bind arg ->
+      match (bind, arg) with
+      | Breg (s, sty, _), Xscalar x ->
+        st.regs.(s) <- Value.Scalar (V.coerce sty x)
+      | Barr (s, sty, n, name), Xarray a ->
+        if Array.length a <> n then
+          fail "argument %s: expected %d elements, received %d" name n
+            (Array.length a);
+        st.arrs.(s) <- Array.map (V.coerce sty) a
+      | Breg (_, _, name), Xarray _ | Barr (_, _, _, name), Xscalar _ ->
+        fail "argument %s: scalar/array mismatch" name)
+    p.binds args;
+  (try p.body_fn st with Return_exc -> ());
+  let rets =
+    List.map
+      (function
+        | Sreg s -> Xscalar (scalar_of_value st.regs.(s))
+        | Sarr s -> Xarray (Array.copy st.arrs.(s)))
+      p.ret_slots
+  in
+  (* Rebuild the class histogram through a Hashtbl populated in
+     first-charge order — the exact sequence of inserts the tree-walker
+     performs — so fold order, and therefore tie order after the
+     by-count sort, is bit-identical to [Interp.run_tree]. *)
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Hashtbl.replace h p.classes.(c) st.hist.(c))
+    (List.rev st.order);
+  { rets;
+    cycles = st.cycles;
+    dyn_instrs = st.dyn;
+    histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    output = Buffer.contents st.out }

@@ -1,0 +1,32 @@
+(** Closure-threaded execution plans for the cycle-accurate simulator.
+
+    A plan is a MIR function pre-compiled — once — into a tree of OCaml
+    closures with variables resolved to dense array slots, static
+    per-instruction costs and histogram classes memoized from
+    {!Masc_asip.Cost_model}, intrinsics pre-resolved to their
+    descriptions, and fast paths for hot shapes (constant-bound integer
+    loops, real-double scalar arithmetic, constant-index memory
+    accesses).
+
+    [execute] is observably bit-identical to the legacy tree-walking
+    interpreter {!Interp.run_tree}: same return values, cycle counts,
+    dynamic instruction counts, histogram (including ordering), printed
+    output and error behaviour — it just runs several times faster. A
+    plan is immutable and reusable: each [execute] call runs on fresh
+    state, so one plan can serve many simulations of the same function
+    (see [Masc.Compiler.compiled], which caches one per compilation). *)
+
+type t
+
+(** [compile ~isa ~mode f] walks [f] once and builds its plan. Cheap
+    (linear in the static instruction count); never raises for programs
+    that the tree-walker could start executing — dynamic failures
+    (missing intrinsics, bad indices, type misuse) stay runtime errors
+    raised at the same execution point as in the tree-walker. *)
+val compile :
+  isa:Masc_asip.Isa.t -> mode:Masc_asip.Cost_model.mode -> Masc_mir.Mir.func ->
+  t
+
+(** [execute p args] runs the plan on fresh state. Argument binding,
+    defaults and failure modes match {!Interp.run} exactly. *)
+val execute : ?max_cycles:int -> t -> Exec.xvalue list -> Exec.result

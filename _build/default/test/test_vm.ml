@@ -253,4 +253,99 @@ let extra_suites =
       [ Alcotest.test_case "deterministic execution" `Quick test_determinism;
         Alcotest.test_case "affine analysis" `Quick test_affine_analysis ] ) ]
 
-let suites = base_suites @ extra_suites
+(* --- plan back end: differential identity against the tree-walker --- *)
+
+let test_hex_and_recycling_formats () =
+  (* %x (satellite fix: used to print decimal), %% escapes, widths, and
+     MATLAB format-string recycling when more args than conversions. *)
+  let src =
+    "function y = f()\n\
+     y = 1;\n\
+     fprintf('hex %x pad %04x pct %%\\n', 255, 10);\n\
+     fprintf('%x\\n', 16, 17, 18);\n\
+     end"
+  in
+  let f =
+    Masc_mir.Lower.lower_program
+      (Masc_sema.Infer.infer_source src ~entry:"f" ~arg_types:[])
+  in
+  let r = I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] in
+  Alcotest.(check string) "hex output"
+    "hex ff pad 000a pct %\n10\n11\n12\n" r.I.output
+
+(* Every kernel x target x cost mode through both back ends: the
+   closure-threaded plan (I.run) must be bit-identical to the legacy
+   tree-walking interpreter (I.run_tree) — cycles, dynamic instruction
+   count, histogram (content AND order), printed output, return values. *)
+let test_plan_tree_differential () =
+  let module K = Masc_kernels.Kernels in
+  let targets =
+    [ ("scalar", T.scalar); ("dsp4", T.dsp4); ("dsp8", T.dsp8);
+      ("dsp16", T.dsp16) ]
+  in
+  let modes =
+    [ ("proposed", Masc_asip.Cost_model.Proposed);
+      ("coder", Masc_asip.Cost_model.Coder) ]
+  in
+  List.iter
+    (fun (k : K.kernel) ->
+      List.iter
+        (fun (tname, isa) ->
+          List.iter
+            (fun (mname, mode) ->
+              let tag what =
+                Printf.sprintf "%s/%s/%s %s" k.K.kname tname mname what
+              in
+              let c =
+                Masc.Compiler.compile
+                  { (Masc.Compiler.proposed ~isa ()) with
+                    Masc.Compiler.mode }
+                  ~source:k.K.source ~entry:k.K.entry
+                  ~arg_types:k.K.arg_types
+              in
+              let inputs = k.K.inputs () in
+              let rt = I.run_tree ~isa ~mode c.Masc.Compiler.mir inputs in
+              let rp = I.run ~isa ~mode c.Masc.Compiler.mir inputs in
+              Alcotest.(check int) (tag "cycles") rt.I.cycles rp.I.cycles;
+              Alcotest.(check int)
+                (tag "dyn instrs")
+                rt.I.dyn_instrs rp.I.dyn_instrs;
+              Alcotest.(check bool)
+                (tag "histogram (incl. order)")
+                true
+                (rt.I.histogram = rp.I.histogram);
+              Alcotest.(check string) (tag "output") rt.I.output rp.I.output;
+              Alcotest.(check bool)
+                (tag "return values")
+                true
+                (compare rt.I.rets rp.I.rets = 0))
+            modes)
+        targets)
+    (K.all ())
+
+let test_plan_reuse () =
+  (* The plan cached in a compilation is reusable: running the same
+     compiled kernel twice gives identical results (state is per-run,
+     not per-plan). *)
+  let module K = Masc_kernels.Kernels in
+  let k = K.fir ~n:128 ~m:16 () in
+  let c =
+    Masc.Compiler.compile (Masc.Compiler.proposed ()) ~source:k.K.source
+      ~entry:k.K.entry ~arg_types:k.K.arg_types
+  in
+  let inputs = k.K.inputs () in
+  let r1 = Masc.Compiler.run c inputs in
+  let r2 = Masc.Compiler.run c inputs in
+  Alcotest.(check int) "cycles equal" r1.I.cycles r2.I.cycles;
+  Alcotest.(check bool) "histograms equal" true (r1.I.histogram = r2.I.histogram);
+  Alcotest.(check bool) "values equal" true (compare r1.I.rets r2.I.rets = 0)
+
+let plan_suites =
+  [ ( "vm plan",
+      [ Alcotest.test_case "hex and recycling formats" `Quick
+          test_hex_and_recycling_formats;
+        Alcotest.test_case "plan vs tree differential" `Slow
+          test_plan_tree_differential;
+        Alcotest.test_case "plan reuse" `Quick test_plan_reuse ] ) ]
+
+let suites = base_suites @ extra_suites @ plan_suites

@@ -22,6 +22,16 @@ val mode_name : mode -> string
     Raises [Invalid_argument] for an [Rintrin] the target lacks. *)
 val def_cost : Isa.t -> mode -> Masc_mir.Mir.rvalue -> int
 
+(** Like {!def_cost} but total: [None] for an [Rintrin] the target
+    lacks. Costs depend only on the rvalue shape, operand types, ISA and
+    mode — never on runtime values — so plan compilers can memoize them
+    per static instruction. *)
+val def_cost_opt : Isa.t -> mode -> Masc_mir.Mir.rvalue -> int option
+
+(** Histogram class ("alu", "mem", "simd", ...) of an rvalue; static,
+    like {!def_cost_opt}. *)
+val class_of_rvalue : Masc_mir.Mir.rvalue -> string
+
 (** [store_cost isa mode ~cplx] cycles for a scalar array store. *)
 val store_cost : Isa.t -> mode -> cplx:bool -> int
 
