@@ -259,10 +259,15 @@ let bechamel_tests () =
   List.map compile_test kernels
   @ List.concat_map simulate_tests (sim_cases ())
 
-(* Run the tests and return [(name, ns_per_run option)] in test order. *)
+(* Run the tests and return [(name, ns_per_run option,
+   minor_words_per_run option)] in test order. The allocation rate is
+   part of the recorded trajectory because the plan back end's typed
+   register banks are specifically an allocation optimization: a
+   regression there shows up in minor words long before wall clock on a
+   fast machine. *)
 let bechamel_data () =
   let open Bechamel in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:(Some 300) ()
   in
@@ -271,12 +276,12 @@ let bechamel_data () =
       let raw = Benchmark.all cfg instances test in
       Hashtbl.fold
         (fun name wall acc ->
-          let est =
+          let est instance =
             match
               Analyze.one
                 (Analyze.ols ~bootstrap:0 ~r_square:false
                    ~predictors:[| Measure.run |])
-                Toolkit.Instance.monotonic_clock wall
+                instance wall
             with
             | ols -> (
               match Analyze.OLS.estimates ols with
@@ -284,17 +289,24 @@ let bechamel_data () =
               | _ -> None)
             | exception _ -> None
           in
-          (name, est) :: acc)
+          ( name,
+            est Toolkit.Instance.monotonic_clock,
+            est Toolkit.Instance.minor_allocated )
+          :: acc)
         raw [])
     (bechamel_tests ())
 
 let bechamel_print data =
   header "Bechamel: compiler and simulator throughput (wall clock)";
   List.iter
-    (fun (name, est) ->
-      match est with
-      | Some est -> Printf.printf "%-32s %12.0f ns/run\n" name est
-      | None -> Printf.printf "%-32s (no estimate)\n" name)
+    (fun (name, est, words) ->
+      (match est with
+      | Some est -> Printf.printf "%-32s %12.0f ns/run" name est
+      | None -> Printf.printf "%-32s (no estimate)" name);
+      (match words with
+      | Some w -> Printf.printf " %14.0f minor words/run" w
+      | None -> ());
+      print_newline ())
     data
 
 (* ---------------- json: machine-readable perf trajectory -------------- *)
@@ -317,7 +329,7 @@ let json () =
   let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null" in
   let sep xs f = List.iteri (fun i x -> (if i > 0 then add ","); f x) xs in
   add "{\n";
-  add "  \"schema_version\": 1,\n";
+  add "  \"schema_version\": 2,\n";
   add "  \"generator\": \"bench/main.exe json\",\n";
   add "  \"table2\": [";
   sep (table2_data ()) (fun r ->
@@ -333,9 +345,11 @@ let json () =
       add "}}");
   add "\n  ],\n";
   add "  \"bechamel_ns_per_run\": [";
-  sep (bechamel_data ()) (fun (name, est) ->
-      add "\n    {\"name\": \"%s\", \"ns_per_run\": %s}" (esc name)
-        (match est with Some e -> jfloat e | None -> "null"));
+  sep (bechamel_data ()) (fun (name, est, words) ->
+      add "\n    {\"name\": \"%s\", \"ns_per_run\": %s," (esc name)
+        (match est with Some e -> jfloat e | None -> "null");
+      add " \"minor_words_per_run\": %s}"
+        (match words with Some w -> jfloat w | None -> "null"));
   add "\n  ]\n}\n";
   print_string (Buffer.contents buf)
 

@@ -34,21 +34,30 @@ type compiled = {
 }
 
 let compile ?passes config ~source ~entry ~arg_types =
-  let typed = Infer.infer_source source ~entry ~arg_types in
-  let mir_raw = Lower.lower_program typed in
+  (* [timed] is free when MASC_TIME_STAGES is unset; set it to get one
+     stderr line per front-end stage here and per pass inside
+     [Pipeline.optimize]. *)
+  let timed name f x = Pipeline.timed "stage" name f x in
+  let typed =
+    timed "infer"
+      (fun arg_types -> Infer.infer_source source ~entry ~arg_types)
+      arg_types
+  in
+  let mir_raw = timed "lower" Lower.lower_program typed in
   Masc_mir.Verify.check mir_raw;
   let mir =
     match passes with
-    | None -> Pipeline.optimize config.opt_level mir_raw
+    | None -> timed "optimize" (Pipeline.optimize config.opt_level) mir_raw
     | Some ps -> List.fold_left (fun f (_, p) -> p f) mir_raw ps
   in
   Masc_mir.Verify.check mir;
   let mir, vec_stats =
-    if config.vectorize then Vectorizer.run config.isa mir
+    if config.vectorize then timed "vectorize" (Vectorizer.run config.isa) mir
     else (mir, { Vectorizer.map_loops = 0; reduction_loops = 0 })
   in
   let mir, cplx_stats =
-    if config.select_complex then Complex_sel.run config.isa mir
+    if config.select_complex then
+      timed "complex-sel" (Complex_sel.run config.isa) mir
     else (mir, { Complex_sel.cmul = 0; cmac = 0; cadd = 0 })
   in
   (* Clean up after the rewriting stages: fold strip-mine arithmetic,
@@ -57,8 +66,11 @@ let compile ?passes config ~source ~entry ~arg_types =
   let mir =
     if config.opt_level = Pipeline.O0 then mir
     else
-      mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
-      |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run
+      timed "cleanup"
+        (fun mir ->
+          mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
+          |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run)
+        mir
   in
   Masc_mir.Verify.check mir;
   (* The execution plan is derived data: built on first run, reused for

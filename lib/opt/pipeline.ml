@@ -16,5 +16,23 @@ let o2_passes =
 
 let passes = function O0 -> [] | O1 -> o1_passes | O2 -> o2_passes
 
+(* Opt-in wall-clock instrumentation: MASC_TIME_STAGES=1 prints one
+   stderr line per pass/stage. Stderr so it composes with `-- json` on
+   stdout; read once so the hot path stays a single lazy check. *)
+let time_stages = lazy (Sys.getenv_opt "MASC_TIME_STAGES" <> None)
+
+let timed what name f x =
+  if Lazy.force time_stages then begin
+    let t0 = Unix.gettimeofday () in
+    let r = f x in
+    Printf.eprintf "[masc-time] %-5s %-14s %8.3f ms
+%!" what name
+      ((Unix.gettimeofday () -. t0) *. 1000.0);
+    r
+  end
+  else f x
+
 let optimize level func =
-  List.fold_left (fun f (_, pass) -> pass f) func (passes level)
+  List.fold_left
+    (fun f (name, pass) -> timed "pass" name pass f)
+    func (passes level)

@@ -18,3 +18,10 @@ val optimize : level -> Masc_mir.Mir.func -> Masc_mir.Mir.func
 (** Individual pass list at a level, for ablation benchmarks:
     [(name, pass)] in execution order. *)
 val passes : level -> (string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list
+
+(** [timed what name f x] applies [f x]; when the [MASC_TIME_STAGES]
+    environment variable is set it also prints one
+    [\[masc-time\] <what> <name> <ms>] line to stderr with the call's
+    wall-clock time. [optimize] wraps every pass in it; the driver
+    ({!Masc.Compiler.compile}) wraps each whole stage. *)
+val timed : string -> string -> ('a -> 'b) -> 'a -> 'b

@@ -1,12 +1,17 @@
 (** Closure-threaded execution plans for the cycle-accurate simulator.
 
     A plan is a MIR function pre-compiled — once — into a tree of OCaml
-    closures with variables resolved to dense array slots, static
-    per-instruction costs and histogram classes memoized from
-    {!Masc_asip.Cost_model}, intrinsics pre-resolved to their
-    descriptions, and fast paths for hot shapes (constant-bound integer
-    loops, real-double scalar arithmetic, constant-index memory
-    accesses).
+    closures with variables resolved to dense slots in monomorphic
+    typed register banks ([float array] for real doubles, [int array],
+    [bool array], interleaved re/im [float array] for complex, plus a
+    boxed bank for the demoted remainder), static per-instruction costs
+    and histogram classes memoized from {!Masc_asip.Cost_model},
+    constants pooled into the same banks at plan time, intrinsics
+    pre-resolved to their descriptions, and fast paths for hot shapes
+    (constant-bound typed loops, fused unboxed float/complex
+    definitions and stores, constant-index memory accesses). Boxed
+    {!Value.scalar}s appear only at the argument/return boundary (see
+    {!Store}).
 
     [execute] is observably bit-identical to the legacy tree-walking
     interpreter {!Interp.run_tree}: same return values, cycle counts,

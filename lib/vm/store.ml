@@ -1,0 +1,68 @@
+(* Typed-storage boundary helpers.
+
+   The plan executor (Plan) keeps simulation state in monomorphic
+   unboxed banks — [float array] for real doubles, [int array] for
+   ints, [bool array] for bools, and an interleaved re/im [float array]
+   for complex — while the tree-walking reference interpreter
+   (Interp.run_tree) and the public [Exec.xvalue] interface stay on
+   boxed [Value.scalar]s. This module is the single place where values
+   cross that boundary: packing boxed scalars into typed banks
+   (argument binding) and boxing typed elements back out (returns,
+   printing, generic fallback paths).
+
+   Every conversion here must be observably identical to what
+   [Value.coerce]/[Value.to_*] would do on the boxed representation,
+   including the exact exception messages — the differential test in
+   test/test_vm.ml holds the plan to bit-identical behaviour against
+   the tree-walker. *)
+
+module V = Value
+
+(* [Value.coerce] into an [Int]-typed slot, unboxed. Distinct from
+   [V.to_int] only in the complex error message: assignment-boundary
+   coercion says "coerce", operand conversion says "to_int". *)
+let coerce_int_exn (s : Value.scalar) : int =
+  match s with
+  | V.Si i -> i
+  (* MATLAB round-half-away-from-zero, same as [V.to_int]. *)
+  | V.Sf f -> int_of_float (Float.round f)
+  | V.Sb b -> if b then 1 else 0
+  | V.Sc _ -> invalid_arg "Value.coerce: complex into int"
+
+(* ---- packing: boxed scalars -> typed banks (argument binding) ---- *)
+
+let floats_of_scalars (a : Value.scalar array) : float array =
+  Array.map V.to_float a
+
+let ints_of_scalars (a : Value.scalar array) : int array =
+  Array.map coerce_int_exn a
+
+let bools_of_scalars (a : Value.scalar array) : bool array =
+  Array.map V.to_bool a
+
+let complex_of_scalars (a : Value.scalar array) : float array =
+  let n = Array.length a in
+  let out = Array.make (2 * n) 0.0 in
+  Array.iteri
+    (fun i s ->
+      let z = V.to_complex s in
+      out.(2 * i) <- z.Complex.re;
+      out.((2 * i) + 1) <- z.Complex.im)
+    a;
+  out
+
+(* ---- boxing: typed banks -> boxed scalars (returns, printing) ---- *)
+
+let scalars_of_floats (a : float array) : Value.scalar array =
+  Array.map (fun f -> V.Sf f) a
+
+let scalars_of_ints (a : int array) : Value.scalar array =
+  Array.map (fun i -> V.Si i) a
+
+let scalars_of_bools (a : bool array) : Value.scalar array =
+  Array.map (fun b -> V.Sb b) a
+
+let scalars_of_complex (a : float array) : Value.scalar array =
+  Array.init
+    (Array.length a / 2)
+    (fun i -> V.Sc { Complex.re = a.(2 * i); im = a.((2 * i) + 1) })

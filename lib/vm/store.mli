@@ -1,0 +1,35 @@
+(** Typed-storage boundary helpers for the plan executor.
+
+    The plan keeps state in monomorphic unboxed banks ([float array],
+    [int array], [bool array], interleaved re/im [float array]); the
+    boxed {!Value.scalar} representation appears only at boundaries
+    (argument binding, return extraction, printing, generic fallbacks).
+    All conversions reproduce {!Value.coerce}/[Value.to_*] semantics
+    bit-for-bit, including exception messages. *)
+
+(** [Value.coerce] into an [Int]-typed slot: MATLAB
+    round-half-away-from-zero for floats, 0/1 for bools, and
+    [Invalid_argument "Value.coerce: complex into int"] for complex —
+    the assignment-boundary error message, distinct from
+    [Value.to_int]'s operand-conversion message. *)
+val coerce_int_exn : Value.scalar -> int
+
+(** Packing (binding boxed arguments into typed banks). Each raises
+    exactly as the elementwise [Value.coerce] into the bank's element
+    type would. *)
+
+val floats_of_scalars : Value.scalar array -> float array
+val ints_of_scalars : Value.scalar array -> int array
+val bools_of_scalars : Value.scalar array -> bool array
+
+(** Interleaved re/im pairs; result has twice the input length. *)
+val complex_of_scalars : Value.scalar array -> float array
+
+(** Boxing (extracting typed banks as boxed scalars). *)
+
+val scalars_of_floats : float array -> Value.scalar array
+val scalars_of_ints : int array -> Value.scalar array
+val scalars_of_bools : bool array -> Value.scalar array
+
+(** Inverse of {!complex_of_scalars}: consumes interleaved pairs. *)
+val scalars_of_complex : float array -> Value.scalar array

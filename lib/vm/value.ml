@@ -35,7 +35,8 @@ let coerce (sty : Mir.scalar_ty) (s : scalar) =
   | MT.Real, MT.Int -> (
     match s with
     | Si _ -> s
-    | Sf f -> Si (int_of_float f)
+    (* MATLAB round-half-away-from-zero, same as [to_int]. *)
+    | Sf f -> Si (int_of_float (Float.round f))
     | Sb b -> Si (if b then 1 else 0)
     | Sc _ -> invalid_arg "Value.coerce: complex into int")
   | MT.Real, MT.Bool -> Sb (to_bool s)

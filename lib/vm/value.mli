@@ -17,7 +17,9 @@ val to_int : scalar -> int
 val to_bool : scalar -> bool
 val to_complex : scalar -> Complex.t
 
-(** [coerce sty v] converts a scalar to a variable/array element type. *)
+(** [coerce sty v] converts a scalar to a variable/array element type.
+    Float-to-int conversion uses MATLAB round-half-away-from-zero
+    semantics, identical to {!to_int}. *)
 val coerce : Masc_mir.Mir.scalar_ty -> scalar -> scalar
 
 (** [binop op a b] implements MIR scalar binary semantics (numeric

@@ -18,6 +18,28 @@ let test_value_coercions () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "complex into int must fail"
 
+let test_int_rounding () =
+  (* Both conversion paths into an int use MATLAB round-half-away-from-
+     zero semantics; assignment coercion must agree with operand
+     conversion on every value, including the .5 ties. *)
+  Alcotest.(check bool) "coerce rounds 2.7 up" true
+    (V.coerce Mir.int_sty (V.Sf 2.7) = V.Si 3);
+  Alcotest.(check bool) "coerce rounds -2.5 away from zero" true
+    (V.coerce Mir.int_sty (V.Sf (-2.5)) = V.Si (-3));
+  Alcotest.(check bool) "coerce rounds 2.5 away from zero" true
+    (V.coerce Mir.int_sty (V.Sf 2.5) = V.Si 3);
+  Alcotest.(check bool) "coerce rounds -2.4 toward zero" true
+    (V.coerce Mir.int_sty (V.Sf (-2.4)) = V.Si (-2));
+  List.iter
+    (fun f ->
+      Alcotest.(check int)
+        (Printf.sprintf "to_int and coerce agree on %g" f)
+        (V.to_int (V.Sf f))
+        (match V.coerce Mir.int_sty (V.Sf f) with
+        | V.Si n -> n
+        | _ -> Alcotest.fail "coerce into int must yield Si"))
+    [ 2.7; -2.7; 2.5; -2.5; 0.5; -0.5; 1.49999; -1.49999; 0.0; 1e9 ]
+
 let test_value_binops () =
   let f op a b = V.binop op a b in
   Alcotest.(check bool) "int add stays int" true (f Mir.Badd (V.Si 2) (V.Si 3) = V.Si 5);
@@ -176,6 +198,7 @@ let test_print_formats () =
 let base_suites =
   [ ( "vm",
       [ Alcotest.test_case "value coercions" `Quick test_value_coercions;
+        Alcotest.test_case "int rounding semantics" `Quick test_int_rounding;
         Alcotest.test_case "value binops" `Quick test_value_binops;
         Alcotest.test_case "value math" `Quick test_value_math;
         Alcotest.test_case "vector execution" `Quick test_vector_execution;
@@ -318,7 +341,32 @@ let test_plan_tree_differential () =
               Alcotest.(check bool)
                 (tag "return values")
                 true
-                (compare rt.I.rets rp.I.rets = 0))
+                (compare rt.I.rets rp.I.rets = 0);
+              (* Elementwise check through [Value.close]: redundant with
+                 the exact compare above, but localizes a divergence to
+                 the offending element instead of a whole-list mismatch,
+                 and guards the exact check against ever being weakened
+                 to an approximate one silently. *)
+              List.iteri
+                (fun i (xt, xp) ->
+                  match (xt, xp) with
+                  | I.Xscalar a, I.Xscalar b ->
+                    Alcotest.(check bool)
+                      (tag (Printf.sprintf "ret %d close" i))
+                      true (V.close a b)
+                  | I.Xarray a, I.Xarray b ->
+                    Alcotest.(check int)
+                      (tag (Printf.sprintf "ret %d length" i))
+                      (Array.length a) (Array.length b);
+                    Array.iteri
+                      (fun j x ->
+                        Alcotest.(check bool)
+                          (tag (Printf.sprintf "ret %d elem %d close" i j))
+                          true
+                          (V.close x b.(j)))
+                      a
+                  | _ -> Alcotest.fail (tag (Printf.sprintf "ret %d shape" i)))
+                (List.combine rt.I.rets rp.I.rets))
             modes)
         targets)
     (K.all ())
