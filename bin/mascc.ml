@@ -99,48 +99,86 @@ let handle_errors f =
 
 (* ---- compile ---- *)
 
-let do_compile file entry args_spec target isa_file opt_level coder
-    no_vectorize no_complex output emit_header dump_stages =
+let vec_note (compiled : C.compiled) =
+  Printf.sprintf
+    "# %d map loop(s) and %d reduction loop(s) vectorized; %d cmul, %d \
+     cmac, %d cadd selected"
+    compiled.C.vec_stats.Masc_vectorize.Vectorizer.map_loops
+    compiled.C.vec_stats.Masc_vectorize.Vectorizer.reduction_loops
+    compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmul
+    compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmac
+    compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cadd
+
+let do_compile files entry args_spec target isa_file opt_level coder
+    no_vectorize no_complex output emit_header dump_stages opt_stats jobs =
   handle_errors @@ fun () ->
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
-  let source = read_file file in
-  let entry =
-    match entry with
-    | Some e -> e
-    | None -> Filename.remove_extension (Filename.basename file)
+  let compile_one file =
+    let source = read_file file in
+    let entry =
+      match entry with
+      | Some e -> e
+      | None -> Filename.remove_extension (Filename.basename file)
+    in
+    (file, C.compile config ~source ~entry ~arg_types:(parse_arg_spec args_spec))
   in
-  let compiled =
-    C.compile config ~source ~entry ~arg_types:(parse_arg_spec args_spec)
-  in
-  if dump_stages then print_string (C.stage_dump compiled)
-  else begin
-    let c_text = C.c_source compiled in
-    (match output with
-    | Some path ->
-      write_file path c_text;
-      Printf.printf "wrote %s\n" path
-    | None -> print_string c_text);
-    if emit_header then begin
-      let hpath =
-        match output with
-        | Some path ->
-          Filename.concat (Filename.dirname path)
-            Masc_codegen.Runtime.header_filename
-        | None -> Masc_codegen.Runtime.header_filename
-      in
-      write_file hpath (C.runtime_header compiled);
-      Printf.printf "wrote %s\n" hpath
+  match files with
+  | [ file ] ->
+    let _, compiled = compile_one file in
+    if dump_stages then print_string (C.stage_dump compiled)
+    else begin
+      let c_text = C.c_source compiled in
+      (match output with
+      | Some path ->
+        write_file path c_text;
+        Printf.printf "wrote %s\n" path
+      | None -> print_string c_text);
+      if emit_header then begin
+        let hpath =
+          match output with
+          | Some path ->
+            Filename.concat (Filename.dirname path)
+              Masc_codegen.Runtime.header_filename
+          | None -> Masc_codegen.Runtime.header_filename
+        in
+        write_file hpath (C.runtime_header compiled);
+        Printf.printf "wrote %s\n" hpath
+      end;
+      print_endline (vec_note compiled)
     end;
-    Printf.printf
-      "# %d map loop(s) and %d reduction loop(s) vectorized; %d cmul, %d \
-       cmac, %d cadd selected\n"
-      compiled.C.vec_stats.Masc_vectorize.Vectorizer.map_loops
-      compiled.C.vec_stats.Masc_vectorize.Vectorizer.reduction_loops
-      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmul
-      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cmac
-      compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cadd
-  end
+    if opt_stats then prerr_string (C.opt_stats_dump compiled)
+  | files ->
+    (* Batch mode: each FILE.m compiles (in parallel with --jobs) to a
+       sibling FILE.c; stdout/-o/--dump-stages make no sense across
+       several translation units. *)
+    if output <> None || dump_stages then
+      failwith "--output/--dump-stages require a single input file";
+    let jobs =
+      if jobs <= 0 then Masc.Parallel.default_jobs () else jobs
+    in
+    let compiled = Masc.Parallel.map ~jobs compile_one files in
+    (* Writing and reporting stay in the calling domain so the output
+       order matches the command line. *)
+    List.iter
+      (fun (file, compiled) ->
+        let path = Filename.remove_extension file ^ ".c" in
+        write_file path (C.c_source compiled);
+        Printf.printf "wrote %s\n" path;
+        print_endline (vec_note compiled);
+        if opt_stats then prerr_string (C.opt_stats_dump compiled))
+      compiled;
+    if emit_header then begin
+      match compiled with
+      | (file, first) :: _ ->
+        let hpath =
+          Filename.concat (Filename.dirname file)
+            Masc_codegen.Runtime.header_filename
+        in
+        write_file hpath (C.runtime_header first);
+        Printf.printf "wrote %s\n" hpath
+      | [] -> ()
+    end
 
 (* ---- run ---- *)
 
@@ -163,7 +201,7 @@ let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
     arg_types
 
 let do_run file entry args_spec target isa_file opt_level coder no_vectorize
-    no_complex seed show_output =
+    no_complex seed show_output opt_stats =
   handle_errors @@ fun () ->
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
@@ -204,7 +242,8 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
     (fun (cls, cycles) ->
       Printf.printf "  %-12s %10d (%.1f%%)\n" cls cycles
         (100.0 *. float_of_int cycles /. float_of_int (max 1 result.I.cycles)))
-    result.I.histogram
+    result.I.histogram;
+  if opt_stats then prerr_string (C.opt_stats_dump compiled)
 
 (* ---- targets / kernels ---- *)
 
@@ -226,6 +265,24 @@ let do_kernels () =
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.m" ~doc:"MATLAB source file")
+
+let files_arg =
+  Arg.(non_empty & pos_all file []
+       & info [] ~docv:"FILE.m..."
+           ~doc:"MATLAB source file(s); several files enter batch mode \
+                 (each compiles to a sibling FILE.c, in parallel with \
+                 $(b,--jobs))")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Compile batch inputs on N domains (0 = all cores)")
+
+let opt_stats_arg =
+  Arg.(value & flag
+       & info [ "opt-stats" ]
+           ~doc:"Print the pass manager's per-pass runs/changed/skipped \
+                 counters to stderr")
 
 let entry_arg =
   Arg.(value & opt (some string) None
@@ -287,9 +344,9 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc)
     Term.(
-      const do_compile $ file_arg $ entry_arg $ args_arg $ target_arg
+      const do_compile $ files_arg $ entry_arg $ args_arg $ target_arg
       $ isa_arg $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ output_arg
-      $ header_arg $ dump_arg)
+      $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg)
 
 let run_cmd =
   let doc = "compile and execute on the cycle-accounting ASIP simulator" in
@@ -298,7 +355,7 @@ let run_cmd =
     Term.(
       const do_run $ file_arg $ entry_arg $ args_arg $ target_arg $ isa_arg
       $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ seed_arg
-      $ show_output_arg)
+      $ show_output_arg $ opt_stats_arg)
 
 let targets_cmd =
   Cmd.v

@@ -54,25 +54,41 @@ let has t kind = Option.is_some (find t kind)
    rescanning [instrs] every time. Targets are module-level values (see
    Targets), so the cache stays tiny; it is capped defensively in case a
    caller parses ISA descriptions in a loop. *)
-let named_cache : (t * (string, instr_desc) Hashtbl.t) list ref = ref []
+(* Domain safety: the read path must be lock-free (it runs per dynamic
+   instruction under `--jobs`), so the cache is an immutable association
+   list published through an [Atomic]. Each entry's table is fully built
+   before publication and never mutated after, so readers in other
+   domains always observe a complete table. The builder lock only
+   serializes (rare) insertions; a reader that races an insertion either
+   sees the new list or rebuilds redundantly — both are correct. *)
+let named_cache : (t * (string, instr_desc) Hashtbl.t) list Atomic.t =
+  Atomic.make []
+
 let named_cache_cap = 32
+let named_cache_lock = Mutex.create ()
 
 let intrinsic_table t =
-  match List.find_opt (fun (t', _) -> t' == t) !named_cache with
+  match List.find_opt (fun (t', _) -> t' == t) (Atomic.get named_cache) with
   | Some (_, tbl) -> tbl
   | None ->
-    let tbl = Hashtbl.create 16 in
-    (* First description wins, matching List.find_opt order. *)
-    List.iter
-      (fun i -> if not (Hashtbl.mem tbl i.iname) then Hashtbl.add tbl i.iname i)
-      t.instrs;
-    let keep =
-      if List.length !named_cache >= named_cache_cap then
-        List.filteri (fun k _ -> k < named_cache_cap - 1) !named_cache
-      else !named_cache
-    in
-    named_cache := (t, tbl) :: keep;
-    tbl
+    Mutex.protect named_cache_lock (fun () ->
+        let cur = Atomic.get named_cache in
+        match List.find_opt (fun (t', _) -> t' == t) cur with
+        | Some (_, tbl) -> tbl
+        | None ->
+          let tbl = Hashtbl.create 16 in
+          (* First description wins, matching List.find_opt order. *)
+          List.iter
+            (fun i ->
+              if not (Hashtbl.mem tbl i.iname) then Hashtbl.add tbl i.iname i)
+            t.instrs;
+          let keep =
+            if List.length cur >= named_cache_cap then
+              List.filteri (fun k _ -> k < named_cache_cap - 1) cur
+            else cur
+          in
+          Atomic.set named_cache ((t, tbl) :: keep);
+          tbl)
 
 let find_named t name = Hashtbl.find_opt (intrinsic_table t) name
 

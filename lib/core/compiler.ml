@@ -30,8 +30,27 @@ type compiled = {
   mir : Masc_mir.Mir.func;
   vec_stats : Vectorizer.stats;
   cplx_stats : Complex_sel.stats;
-  plan : Masc_vm.Plan.t Lazy.t;
+  opt_stats : (string * Pipeline.pass_stat list) list;
+  plan_lock : Mutex.t;
+  mutable plan_memo : Masc_vm.Plan.t option;
 }
+
+(* Post-vectorize cleanup: fold strip-mine arithmetic, hoist invariant
+   broadcasts out of the vector loops, and drop the dead scalar
+   leftovers. Driven by the same change-tracked fixpoint as the main
+   optimization stage, so converged passes are skipped. *)
+let cleanup_passes =
+  [ ("const-fold", Masc_opt.Const_fold.run);
+    ("copy-prop", Masc_opt.Copy_prop.run); ("cse", Masc_opt.Cse.run);
+    ("licm", Masc_opt.Licm.run); ("dce", Masc_opt.Dce.run) ]
+
+(* The final MIR is always verified before codegen; the two interior
+   checks (post-lower, post-optimize) triple the verifier cost per
+   compile for defects the final check also catches — they are worth
+   paying only when bisecting which stage broke an invariant, so they
+   are opt-in via MASC_VERIFY_STAGES (read eagerly, like
+   MASC_TIME_STAGES, to keep the hot path branch-on-load). *)
+let verify_stages = Sys.getenv_opt "MASC_VERIFY_STAGES" <> None
 
 let compile ?passes config ~source ~entry ~arg_types =
   (* [timed] is free when MASC_TIME_STAGES is unset; set it to get one
@@ -44,13 +63,16 @@ let compile ?passes config ~source ~entry ~arg_types =
       arg_types
   in
   let mir_raw = timed "lower" Lower.lower_program typed in
-  Masc_mir.Verify.check mir_raw;
-  let mir =
+  if verify_stages then Masc_mir.Verify.check mir_raw;
+  let mir, opt_stats =
     match passes with
-    | None -> timed "optimize" (Pipeline.optimize config.opt_level) mir_raw
-    | Some ps -> List.fold_left (fun f (_, p) -> p f) mir_raw ps
+    | None ->
+      timed "optimize"
+        (fun mir -> Pipeline.optimize_stats config.opt_level mir)
+        mir_raw
+    | Some ps -> Pipeline.run_fixpoint ps mir_raw
   in
-  Masc_mir.Verify.check mir;
+  if verify_stages then Masc_mir.Verify.check mir;
   let mir, vec_stats =
     if config.vectorize then timed "vectorize" (Vectorizer.run config.isa) mir
     else (mir, { Vectorizer.map_loops = 0; reduction_loops = 0 })
@@ -60,26 +82,78 @@ let compile ?passes config ~source ~entry ~arg_types =
       timed "complex-sel" (Complex_sel.run config.isa) mir
     else (mir, { Complex_sel.cmul = 0; cmac = 0; cadd = 0 })
   in
-  (* Clean up after the rewriting stages: fold strip-mine arithmetic,
-     hoist invariant broadcasts out of the vector loops, and drop the
-     dead scalar leftovers. *)
-  let mir =
-    if config.opt_level = Pipeline.O0 then mir
-    else
-      timed "cleanup"
-        (fun mir ->
-          mir |> Masc_opt.Const_fold.run |> Masc_opt.Copy_prop.run
-          |> Masc_opt.Cse.run |> Masc_opt.Licm.run |> Masc_opt.Dce.run)
-        mir
+  let mir, cleanup_stats =
+    if config.opt_level = Pipeline.O0 then (mir, [])
+    else timed "cleanup" (Pipeline.run_fixpoint cleanup_passes) mir
   in
   Masc_mir.Verify.check mir;
-  (* The execution plan is derived data: built on first run, reused for
-     every subsequent simulation of this compilation (the benchmark
-     sweeps re-run each compiled kernel many times). *)
-  let plan =
-    lazy (Masc_vm.Plan.compile ~isa:config.isa ~mode:config.mode mir)
-  in
-  { config; typed; mir_raw; mir; vec_stats; cplx_stats; plan }
+  { config; typed; mir_raw; mir; vec_stats; cplx_stats;
+    opt_stats =
+      (match cleanup_stats with
+      | [] -> [ ("optimize", opt_stats) ]
+      | _ -> [ ("optimize", opt_stats); ("cleanup", cleanup_stats) ]);
+    plan_lock = Mutex.create ();
+    plan_memo = None }
+
+(* The execution plan is derived data: built on first [run], reused for
+   every subsequent simulation of this compilation (the benchmark
+   sweeps re-run each compiled kernel many times). Compilations are
+   shared across domains by the compile cache and by `mascc --jobs`, so
+   the memo is guarded by a mutex rather than a [Lazy.t] — two domains
+   forcing the same lazy would race ([Lazy.Undefined]); here the loser
+   simply waits and reuses the winner's plan. *)
+let plan c =
+  Mutex.protect c.plan_lock (fun () ->
+      match c.plan_memo with
+      | Some p -> p
+      | None ->
+        let p =
+          Masc_vm.Plan.compile ~isa:c.config.isa ~mode:c.config.mode c.mir
+        in
+        c.plan_memo <- Some p;
+        p)
+
+(* ---- content-addressed compile cache ----
+
+   Keyed by everything that determines the output: source digest, entry
+   name, argument types, ISA (name + structural digest, so two .isa
+   files sharing a name don't collide), cost-model mode, opt level and
+   the stage toggles. Safe to share across domains: lookups/inserts are
+   mutex-protected and [compiled] is immutable apart from the
+   mutex-guarded plan memo. On a racing miss both domains compile; the
+   first insert wins so every caller shares one plan. *)
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+
+(* Defensive bound for open-ended sweeps (e.g. candidate-ISA design
+   space exploration): a full flush is simpler than LRU and the sweep
+   re-warms in one batch. *)
+let cache_cap = 256
+
+let cache_key config ~source ~entry ~arg_types =
+  String.concat "|"
+    [ Digest.to_hex (Digest.string source); entry;
+      String.concat ";" (List.map Masc_sema.Mtype.to_string arg_types);
+      config.isa.Isa.tname;
+      Digest.to_hex (Digest.string (Marshal.to_string config.isa []));
+      Cost_model.mode_name config.mode;
+      Pipeline.level_name config.opt_level;
+      string_of_bool config.vectorize;
+      string_of_bool config.select_complex ]
+
+let compile_cached config ~source ~entry ~arg_types =
+  let key = cache_key config ~source ~entry ~arg_types in
+  match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
+  | Some c -> c
+  | None ->
+    let c = compile config ~source ~entry ~arg_types in
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some winner -> winner
+        | None ->
+          if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+          Hashtbl.add cache key c;
+          c)
 
 let c_source c =
   Masc_codegen.Emit.program ~isa:c.config.isa ~mode:c.config.mode c.mir
@@ -87,7 +161,7 @@ let c_source c =
 let runtime_header c = Masc_codegen.Runtime.header c.config.isa
 
 let run ?max_cycles c inputs =
-  Masc_vm.Plan.execute ?max_cycles (Lazy.force c.plan) inputs
+  Masc_vm.Plan.execute ?max_cycles (plan c) inputs
 
 let stage_dump c =
   let b = Buffer.create 8192 in
@@ -120,4 +194,20 @@ let stage_dump c =
         else ""))
     (Masc_mir.Mir_pp.func_to_string c.mir);
   section "generated C" (c_source c);
+  Buffer.contents b
+
+let opt_stats_dump c =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (stage, stats) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %-14s %5s %8s %8s\n" stage "pass" "runs"
+           "changed" "skipped");
+      List.iter
+        (fun (s : Pipeline.pass_stat) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-10s %-14s %5d %8d %8d\n" "" s.Pipeline.ps_name
+               s.Pipeline.runs s.Pipeline.changed s.Pipeline.skipped))
+        stats)
+    c.opt_stats;
   Buffer.contents b

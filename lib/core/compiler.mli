@@ -4,8 +4,9 @@
 
     Stages (the paper's flow):
     parse → type/shape inference (entry specialization) → lowering with
-    inlining and scalarization → scalar optimization → SIMD
-    vectorization → complex-ISE selection → C emission.
+    inlining and scalarization → scalar optimization (change-tracked
+    fixpoint, {!Masc_opt.Pipeline}) → SIMD vectorization → complex-ISE
+    selection → fixpoint cleanup → C emission.
 
     Two ready-made configurations reproduce the paper's comparison:
     {!proposed} (the contribution) and {!coder_baseline} (the
@@ -38,9 +39,14 @@ type compiled = {
   mir : Masc_mir.Mir.func;  (** final form that executes and is emitted *)
   vec_stats : Masc_vectorize.Vectorizer.stats;
   cplx_stats : Masc_vectorize.Complex_sel.stats;
-  plan : Masc_vm.Plan.t Lazy.t;
-      (** closure-threaded execution plan for [mir], built on first
-          {!run} and cached for the lifetime of this compilation *)
+  opt_stats : (string * Masc_opt.Pipeline.pass_stat list) list;
+      (** per-stage scheduler counters: [("optimize", ...)] and, above
+          O0, [("cleanup", ...)] for the post-vectorize fixpoint *)
+  plan_lock : Mutex.t;
+  mutable plan_memo : Masc_vm.Plan.t option;
+      (** access through {!plan}: mutex-guarded memo, safe to share
+          across domains (a [Lazy.t] would race when two domains force
+          it concurrently) *)
 }
 
 (** [compile config ~source ~entry ~arg_types] runs the whole pipeline.
@@ -48,10 +54,10 @@ type compiled = {
 
     [?passes] replaces the scalar optimization stage
     ([Masc_opt.Pipeline.optimize config.opt_level]) with an explicit
-    [(name, pass)] list applied in order — for pass-ablation
-    experiments (e.g. Table V drops the fusion pass). Vectorization,
-    complex-ISE selection and the post-rewrite cleanup still follow the
-    configuration. *)
+    [(name, pass)] list driven to the change-tracked fixpoint — for
+    pass-ablation experiments (e.g. Table V drops the fusion pass).
+    Vectorization, complex-ISE selection and the post-vectorize cleanup
+    still follow the configuration. *)
 val compile :
   ?passes:(string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list ->
   config ->
@@ -59,6 +65,24 @@ val compile :
   entry:string ->
   arg_types:Masc_sema.Mtype.t list ->
   compiled
+
+(** [compile_cached] is {!compile} behind a process-wide
+    content-addressed cache keyed by (source digest, entry, argument
+    types, ISA name + structural digest, mode, opt level, stage
+    toggles). Thread-safe: the batch drivers (`mascc --jobs`, the bench
+    sweeps) call it from multiple domains and share one [compiled] — and
+    therefore one execution plan — per distinct key. *)
+val compile_cached :
+  config ->
+  source:string ->
+  entry:string ->
+  arg_types:Masc_sema.Mtype.t list ->
+  compiled
+
+(** The closure-threaded execution plan for [mir], built on first use
+    and memoized for the lifetime of this compilation. Safe to call
+    from any domain. *)
+val plan : compiled -> Masc_vm.Plan.t
 
 (** Generated translation unit (without the runtime header). *)
 val c_source : compiled -> string
@@ -76,3 +100,6 @@ val run :
 (** Multi-stage dump for [--dump-stages]: typed AST summary, raw MIR,
     final MIR, and C. *)
 val stage_dump : compiled -> string
+
+(** Table of per-stage pass scheduler counters for [--opt-stats]. *)
+val opt_stats_dump : compiled -> string

@@ -1,0 +1,50 @@
+(* Minimal domain pool for the batch-compilation paths (`mascc --jobs`,
+   the bench sweeps). A full work-stealing scheduler (domainslib) is
+   overkill: batches are a few hundred independent, coarse tasks, so a
+   shared atomic work index over a fixed array is both simpler and has
+   no per-task allocation. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Worker_failed of exn
+
+let map ?(jobs = 1) f l =
+  if jobs <= 1 then List.map f l
+  else
+    match l with
+    | [] -> []
+    | _ ->
+      let items = Array.of_list l in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      (* First failure wins; the other workers drain the queue and exit.
+         Re-raised in the caller's domain after every worker joins, so
+         no domain is leaked on error. *)
+      let failure = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (try results.(i) <- Some (f items.(i))
+             with e ->
+               ignore
+                 (Atomic.compare_and_set failure None
+                    (Some (e, Printexc.get_raw_backtrace ()))));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join spawned;
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace (Worker_failed e) bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false)
+           results)

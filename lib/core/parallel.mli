@@ -1,0 +1,25 @@
+(** Domain pool for batch compilation.
+
+    [map ~jobs f l] is [List.map f l] with up to [jobs] domains pulling
+    items from a shared atomic work index (the calling domain is one of
+    the workers, so [jobs] bounds total parallelism, not extra domains).
+    Order is preserved. [jobs <= 1] degrades to plain [List.map] with no
+    domain machinery.
+
+    [f] must be safe to call from multiple domains — in this codebase
+    that holds for {!Masc.Compiler.compile}/[compile_cached] and
+    [run]; shared caches ({!Masc_asip.Isa.find_instr}'s per-ISA index,
+    the compile cache, per-compilation plan memos) are internally
+    synchronized.
+
+    If any call to [f] raises, the first exception (by completion
+    order) is re-raised as [Worker_failed] in the caller's domain after
+    all workers have joined; remaining items may be skipped. *)
+
+exception Worker_failed of exn
+
+(** [Domain.recommended_domain_count ()]: the sensible default for
+    [--jobs 0]. *)
+val default_jobs : unit -> int
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,7 +1,14 @@
 (* The lexer is a single left-to-right scan with one token of look-behind:
    the kind of the previously produced token decides whether a quote is a
    transpose operator (after a value-like token with no intervening space)
-   or opens a character string. *)
+   or opens a character string.
+
+   Character lookahead returns a plain [char] with NUL as the end-of-input
+   sentinel rather than a [char option]: the scan peeks several times per
+   character and an allocating lookahead would dominate the whole
+   front-end's allocation (the batch-compilation paths lex every kernel
+   once per distinct configuration). A literal NUL in the source is not in
+   the MATLAB subset and still reports "unexpected character". *)
 
 type state = {
   src : string;
@@ -15,19 +22,21 @@ type state = {
 
 let current_pos st : Loc.pos = { line = st.line; col = st.col; offset = st.pos }
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let at_end st = st.pos >= String.length st.src
+let peek st = if st.pos < String.length st.src then st.src.[st.pos] else '\000'
 
 let peek2 st =
-  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+  if st.pos + 1 < String.length st.src then st.src.[st.pos + 1] else '\000'
 
 let advance st =
-  (match peek st with
-  | Some '\n' ->
-    st.line <- st.line + 1;
-    st.col <- 1
-  | Some _ -> st.col <- st.col + 1
-  | None -> ());
-  st.pos <- st.pos + 1
+  if st.pos < String.length st.src then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
 
 let error st fmt =
   let p = current_pos st in
@@ -53,11 +62,10 @@ let is_alnum c = is_digit c || is_alpha c
 
 let skip_line st =
   let rec loop () =
-    match peek st with
-    | Some '\n' | None -> ()
-    | Some _ ->
+    if (not (at_end st)) && peek st <> '\n' then begin
       advance st;
       loop ()
+    end
   in
   loop ()
 
@@ -66,96 +74,83 @@ let skip_line st =
 let skip_block_comment st =
   let rec loop depth =
     if depth = 0 then ()
+    else if at_end st then error st "unterminated block comment"
     else
       match (peek st, peek2 st) with
-      | Some '%', Some '{' ->
+      | '%', '{' ->
         advance st;
         advance st;
         loop (depth + 1)
-      | Some '%', Some '}' ->
+      | '%', '}' ->
         advance st;
         advance st;
         loop (depth - 1)
-      | Some _, _ ->
+      | _ ->
         advance st;
         loop depth
-      | None, _ -> error st "unterminated block comment"
   in
   loop 1
 
+(* Numbers and identifiers are sliced out of the source by offset — the
+   consumed characters are exactly the literal text, so no Buffer is
+   needed. *)
 let lex_number st =
   let start_pos = current_pos st in
-  let b = Buffer.create 16 in
+  let start_off = st.pos in
   let rec digits () =
-    match peek st with
-    | Some c when is_digit c ->
-      Buffer.add_char b c;
+    if is_digit (peek st) then begin
       advance st;
       digits ()
-    | _ -> ()
+    end
   in
   digits ();
   (match (peek st, peek2 st) with
-  | Some '.', Some c when is_digit c ->
-    Buffer.add_char b '.';
+  | '.', c when is_digit c ->
     advance st;
     digits ()
-  | Some '.', (Some ('e' | 'E') | None) ->
+  | '.', ('e' | 'E' | '\000') ->
     (* "1." and "1.e3" are valid MATLAB numbers; "1.*" is NUM DOTSTAR. *)
-    Buffer.add_char b '.';
     advance st
-  | Some '.', Some _ ->
+  | '.', _ ->
     (* Leave the dot: it starts an element-wise operator like ".*". *)
     ()
   | _ -> ());
   (match peek st with
-  | Some ('e' | 'E') -> (
+  | 'e' | 'E' -> (
     (* Exponent only if followed by digits (or sign then digits). *)
     let save_pos = st.pos and save_line = st.line and save_col = st.col in
     advance st;
-    let sign =
-      match peek st with
-      | Some (('+' | '-') as c) ->
-        advance st;
-        Some c
-      | _ -> None
-    in
-    match peek st with
-    | Some c when is_digit c ->
-      Buffer.add_char b 'e';
-      (match sign with Some s -> Buffer.add_char b s | None -> ());
-      digits ()
-    | _ ->
+    (match peek st with '+' | '-' -> advance st | _ -> ());
+    if is_digit (peek st) then digits ()
+    else begin
       st.pos <- save_pos;
       st.line <- save_line;
-      st.col <- save_col)
+      st.col <- save_col
+    end)
   | _ -> ());
-  let text = Buffer.contents b in
+  let text = String.sub st.src start_off (st.pos - start_off) in
   let value =
     match float_of_string_opt text with
     | Some v -> v
     | None -> error st "malformed number '%s'" text
   in
   match peek st with
-  | Some ('i' | 'j')
-    when match peek2 st with Some c -> not (is_alnum c) | None -> true ->
+  | ('i' | 'j') when not (is_alnum (peek2 st)) ->
     advance st;
     emit st start_pos (Token.IMAG value)
   | _ -> emit st start_pos (Token.NUM value)
 
 let lex_ident st =
   let start_pos = current_pos st in
-  let b = Buffer.create 16 in
+  let start_off = st.pos in
   let rec loop () =
-    match peek st with
-    | Some c when is_alnum c ->
-      Buffer.add_char b c;
+    if is_alnum (peek st) then begin
       advance st;
       loop ()
-    | _ -> ()
+    end
   in
   loop ();
-  let text = Buffer.contents b in
+  let text = String.sub st.src start_off (st.pos - start_off) in
   let kind =
     match Token.keyword_of_string text with
     | Some kw -> kw
@@ -168,33 +163,37 @@ let lex_ident st =
 let lex_string st start_pos close =
   let b = Buffer.create 16 in
   let rec loop () =
-    match peek st with
-    | Some c when c = close ->
-      advance st;
-      if peek st = Some close then begin
-        Buffer.add_char b close;
+    if at_end st then error st "unterminated string literal"
+    else
+      let c = peek st in
+      if c = close then begin
+        advance st;
+        if peek st = close then begin
+          Buffer.add_char b close;
+          advance st;
+          loop ()
+        end
+      end
+      else if c = '\n' then error st "unterminated string literal"
+      else begin
+        Buffer.add_char b c;
         advance st;
         loop ()
       end
-    | Some '\n' | None -> error st "unterminated string literal"
-    | Some c ->
-      Buffer.add_char b c;
-      advance st;
-      loop ()
   in
   loop ();
   emit st start_pos (Token.STR (Buffer.contents b))
 
 let lex_op st =
   let start_pos = current_pos st in
-  let c = match peek st with Some c -> c | None -> assert false in
+  let c = peek st in
   let simple kind =
     advance st;
     emit st start_pos kind
   in
   let pair second kind_pair kind_single =
     advance st;
-    if peek st = Some second then begin
+    if peek st = second then begin
       advance st;
       emit st start_pos kind_pair
     end
@@ -226,19 +225,19 @@ let lex_op st =
   | '.' -> (
     advance st;
     match peek st with
-    | Some '*' ->
+    | '*' ->
       advance st;
       emit st start_pos Token.DOTSTAR
-    | Some '/' ->
+    | '/' ->
       advance st;
       emit st start_pos Token.DOTSLASH
-    | Some '\\' ->
+    | '\\' ->
       advance st;
       emit st start_pos Token.DOTBACKSLASH
-    | Some '^' ->
+    | '^' ->
       advance st;
       emit st start_pos Token.DOTCARET
-    | Some '\'' ->
+    | '\'' ->
       advance st;
       emit st start_pos Token.DOTQUOTE
     | _ -> error st "unexpected '.'")
@@ -249,64 +248,53 @@ let tokenize src =
     { src; pos = 0; line = 1; col = 1; prev = None; spaced = false; acc = [] }
   in
   let rec loop () =
-    match peek st with
-    | None -> ()
-    | Some (' ' | '\t' | '\r') ->
-      advance st;
-      st.spaced <- true;
+    if not (at_end st) then begin
+      (match peek st with
+      | ' ' | '\t' | '\r' ->
+        advance st;
+        st.spaced <- true
+      | '\n' ->
+        let start_pos = current_pos st in
+        advance st;
+        (* Collapse consecutive newlines; suppress a leading newline. *)
+        (match st.prev with
+        | Some Token.NEWLINE | None -> ()
+        | Some _ -> emit st start_pos Token.NEWLINE);
+        st.prev <- Some Token.NEWLINE;
+        st.spaced <- true
+      | '%' ->
+        advance st;
+        (if peek st = '{' then begin
+           advance st;
+           skip_block_comment st
+         end
+         else skip_line st);
+        st.spaced <- true
+      | '.' when peek2 st = '.' && st.pos + 2 < String.length src
+                 && src.[st.pos + 2] = '.' ->
+        (* Continuation: skip the rest of the line including the newline. *)
+        skip_line st;
+        if peek st = '\n' then advance st;
+        st.spaced <- true
+      | c when is_digit c -> lex_number st
+      | '.' when is_digit (peek2 st) -> lex_number st
+      | c when is_alpha c -> lex_ident st
+      | '\'' ->
+        let start_pos = current_pos st in
+        let transpose =
+          (not st.spaced)
+          && match st.prev with Some k -> value_like k | None -> false
+        in
+        advance st;
+        if transpose then emit st start_pos Token.QUOTE
+        else lex_string st start_pos '\''
+      | '"' ->
+        let start_pos = current_pos st in
+        advance st;
+        lex_string st start_pos '"'
+      | _ -> lex_op st);
       loop ()
-    | Some '\n' ->
-      let start_pos = current_pos st in
-      advance st;
-      (* Collapse consecutive newlines; suppress a leading newline. *)
-      (match st.prev with
-      | Some Token.NEWLINE | None -> ()
-      | Some _ -> emit st start_pos Token.NEWLINE);
-      st.prev <- Some Token.NEWLINE;
-      st.spaced <- true;
-      loop ()
-    | Some '%' ->
-      advance st;
-      (if peek st = Some '{' then begin
-         advance st;
-         skip_block_comment st
-       end
-       else skip_line st);
-      st.spaced <- true;
-      loop ()
-    | Some '.' when peek2 st = Some '.' && st.pos + 2 < String.length src
-                    && src.[st.pos + 2] = '.' ->
-      (* Continuation: skip the rest of the line including the newline. *)
-      skip_line st;
-      if peek st = Some '\n' then advance st;
-      st.spaced <- true;
-      loop ()
-    | Some c when is_digit c ->
-      lex_number st;
-      loop ()
-    | Some '.' when match peek2 st with Some c -> is_digit c | None -> false ->
-      lex_number st;
-      loop ()
-    | Some c when is_alpha c ->
-      lex_ident st;
-      loop ()
-    | Some '\'' ->
-      let start_pos = current_pos st in
-      let transpose =
-        (not st.spaced) && match st.prev with Some k -> value_like k | None -> false
-      in
-      advance st;
-      if transpose then emit st start_pos Token.QUOTE
-      else lex_string st start_pos '\'';
-      loop ()
-    | Some '"' ->
-      let start_pos = current_pos st in
-      advance st;
-      lex_string st start_pos '"';
-      loop ()
-    | Some _ ->
-      lex_op st;
-      loop ()
+    end
   in
   loop ();
   let eof_pos = current_pos st in

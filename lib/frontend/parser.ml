@@ -10,10 +10,13 @@ type state = {
 let peek st = st.tokens.(st.cursor)
 let peek_kind st = (peek st).Token.kind
 
+(* EOF when there is no next token: the token array always ends in EOF,
+   so the sentinel is indistinguishable from the real thing — and the
+   lookahead never allocates an option. *)
 let peek2_kind st =
   if st.cursor + 1 < Array.length st.tokens then
-    Some st.tokens.(st.cursor + 1).Token.kind
-  else None
+    st.tokens.(st.cursor + 1).Token.kind
+  else Token.EOF
 
 let advance st =
   if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
@@ -82,14 +85,11 @@ let is_element_break st =
   st.in_matrix
   &&
   match peek_kind st with
-  | Token.PLUS | Token.MINUS -> (
+  | Token.PLUS | Token.MINUS ->
     (peek st).Token.spaced_before
-    &&
-    match peek2_kind st with
-    | Some _ ->
-      not st.tokens.(st.cursor + 1).Token.spaced_before
-      && starts_expr st st.tokens.(st.cursor + 1).Token.kind
-    | None -> false)
+    && st.cursor + 1 < Array.length st.tokens
+    && (not st.tokens.(st.cursor + 1).Token.spaced_before)
+    && starts_expr st st.tokens.(st.cursor + 1).Token.kind
   | _ -> false
 
 let rec parse_expr_prec st = parse_oror st
@@ -209,8 +209,7 @@ and parse_args st =
           (* A bare ':' argument selects a whole dimension. *)
           if
             peek_kind st = Token.COLON
-            && (peek2_kind st = Some Token.COMMA
-               || peek2_kind st = Some Token.RPAREN)
+            && (peek2_kind st = Token.COMMA || peek2_kind st = Token.RPAREN)
           then mk (next st).Token.span Colon
           else parse_expr_prec st
         in

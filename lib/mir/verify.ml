@@ -42,8 +42,11 @@ let check (func : func) =
   let lanes_of (op : operand) =
     match operand_ty op with Tscalar s -> s.lanes | Tarray _ -> 1
   in
-  let check_rvalue (target : var) (rv : rvalue) =
-    let what = Printf.sprintf "def of %s.%d" target.vname target.vid in
+  (* Constant operand labels only: the per-def context string is added
+     by the [Idef] case when a check actually fails, so the all-clear
+     path — every def of every compile — formats nothing. *)
+  let check_rvalue (rv : rvalue) =
+    let what = "def" in
     match rv with
     | Rbin (_, a, b) ->
       scalar_operand what a;
@@ -63,10 +66,7 @@ let check (func : func) =
     | Rvload (arr, base, lanes) ->
       array_operand what arr;
       index_operand what base;
-      if lanes < 2 then fail "%s: vector load with %d lanes" what lanes;
-      if (elem_ty target).lanes <> lanes then
-        fail "%s: vector load lanes %d but target has %d" what lanes
-          (elem_ty target).lanes
+      if lanes < 2 then fail "%s: vector load with %d lanes" what lanes
     | Rvbroadcast (a, lanes) ->
       scalar_operand what a;
       if lanes < 2 then fail "%s: broadcast with %d lanes" what lanes
@@ -83,7 +83,14 @@ let check (func : func) =
           check_declared v;
           if is_array v then
             fail "def target %s.%d is an array variable" v.vname v.vid;
-          check_rvalue v rv
+          (match rv with
+          | Rvload (_, _, lanes) when (elem_ty v).lanes <> lanes ->
+            fail "def of %s.%d: vector load lanes %d but target has %d"
+              v.vname v.vid lanes (elem_ty v).lanes
+          | _ -> ());
+          (try check_rvalue rv
+           with Violation msg ->
+             fail "def of %s.%d: %s" v.vname v.vid msg)
         | Istore (arr, idx, x) ->
           array_operand "store" arr;
           index_operand "store" idx;

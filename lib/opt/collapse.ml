@@ -1,13 +1,41 @@
 module Mir = Masc_mir.Mir
 
-let run (func : Mir.func) : Mir.func =
+(* Syntactic candidate pair: [t = rv; x = move t] with compatible types.
+   Scanning for one is allocation-free, so a clean run — the common case
+   under the fixpoint driver — never pays for the use-count table. *)
+exception Candidate
+
+let has_candidate (func : Mir.func) =
+  let rec scan (l : Mir.block) =
+    match l with
+    | Mir.Idef (t, _) :: Mir.Idef (x, Mir.Rmove (Mir.Ovar t')) :: _
+      when t'.Mir.vid = t.Mir.vid && t.Mir.vty = x.Mir.vty
+           && x.Mir.vid <> t.Mir.vid ->
+      raise Candidate
+    | i :: tl ->
+      (match i with
+      | Mir.Iif (_, a, b) ->
+        scan a;
+        scan b
+      | Mir.Iloop lp -> scan lp.Mir.body
+      | Mir.Iwhile { cond_block; body; _ } ->
+        scan cond_block;
+        scan body
+      | _ -> ());
+      scan tl
+    | [] -> ()
+  in
+  match scan func.Mir.body with () -> false | exception Candidate -> true
+
+let collapse_with_uses (func : Mir.func) : Mir.func =
   let uses = Rewrite.use_counts func in
   let ret_ids = List.map (fun (r : Mir.var) -> r.Mir.vid) func.Mir.rets in
   let process (block : Mir.block) : Mir.block =
-    let rec go = function
+    let rec go (l : Mir.block) : Mir.block =
+      match l with
       | Mir.Idef (t, rv) :: Mir.Idef (x, Mir.Rmove (Mir.Ovar t')) :: rest
         when t'.Mir.vid = t.Mir.vid
-             && Hashtbl.find_opt uses t.Mir.vid = Some 1
+             && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false)
              && (not (List.mem t.Mir.vid ret_ids))
              && t.Mir.vty = x.Mir.vty
              && x.Mir.vid <> t.Mir.vid
@@ -17,9 +45,14 @@ let run (func : Mir.func) : Mir.func =
                 because the read happens in the same evaluation. *)
       ->
         Mir.Idef (x, rv) :: go rest
-      | i :: rest -> i :: go rest
-      | [] -> []
+      | i :: rest ->
+        let rest' = go rest in
+        if rest' == rest then l else i :: rest'
+      | [] -> l
     in
     go block
   in
   Rewrite.map_blocks process func
+
+let run (func : Mir.func) : Mir.func =
+  if has_candidate func then collapse_with_uses func else func

@@ -1,48 +1,50 @@
 module Mir = Masc_mir.Mir
 
 let run (func : Mir.func) : Mir.func =
+  (* One table per run, reset at each block: [map_blocks] visits blocks
+     sequentially, and the table is already reset at every segment
+     boundary inside a block, so clearing it between blocks is the same
+     discipline — and saves a table allocation per block per run. *)
+  let map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-def [kill] scan callbacks are built once over refs (not per
+     call over the killed vid), so the common nothing-stale kill
+     allocates nothing. *)
+  let kill_vid = ref (-1) in
+  let stale = ref [] in
+  let scan k op =
+    match op with
+    | Mir.Ovar v when v.Mir.vid = !kill_vid -> stale := k :: !stale
+    | _ -> ()
+  in
+  let rm k = Hashtbl.remove map k in
   let process_segment (block : Mir.block) : Mir.block =
-    let map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.clear map;
     let subst (op : Mir.operand) =
       match op with
       | Mir.Ovar v -> (
-        match Hashtbl.find_opt map v.Mir.vid with Some o -> o | None -> op)
+        match Hashtbl.find map v.Mir.vid with o -> o | exception Not_found -> op)
       | Mir.Oconst _ -> op
     in
     let kill vid =
       Hashtbl.remove map vid;
-      let stale =
-        Hashtbl.fold
-          (fun k op acc ->
-            match op with
-            | Mir.Ovar v when v.Mir.vid = vid -> k :: acc
-            | _ -> acc)
-          map []
-      in
-      List.iter (Hashtbl.remove map) stale
+      kill_vid := vid;
+      Hashtbl.iter scan map;
+      match !stale with
+      | [] -> ()
+      | l ->
+        List.iter rm l;
+        stale := []
     in
-    let subst_rvalue rv =
-      match rv with
-      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
-      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
-      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
-      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
-      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
-      | Mir.Rmove a -> Mir.Rmove (subst a)
-      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
-      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
-      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
-      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
-    in
-    List.map
+    let subst_rvalue rv = Rewrite.map_operands subst rv in
+    Rewrite.smap
       (fun (instr : Mir.instr) ->
         match instr with
         | Mir.Idef (v, rv) ->
-          let rv = subst_rvalue rv in
+          let rv' = subst_rvalue rv in
           kill v.Mir.vid;
           (* Only same-scalar-type moves are transparent: a move can also
              coerce (e.g. double literal into an int register). *)
-          (match rv with
+          (match rv' with
           | Mir.Rmove (Mir.Oconst _ as op)
             when Mir.operand_ty op = v.Mir.vty ->
             Hashtbl.replace map v.Mir.vid op
@@ -50,28 +52,33 @@ let run (func : Mir.func) : Mir.func =
             when src.Mir.vty = v.Mir.vty && not (Mir.is_array src) ->
             Hashtbl.replace map v.Mir.vid op
           | _ -> ());
-          Mir.Idef (v, rv)
-        | Mir.Istore (arr, idx, x) -> Mir.Istore (arr, subst idx, subst x)
+          if rv' == rv then instr else Mir.Idef (v, rv')
+        | Mir.Istore (arr, idx, x) ->
+          let idx' = subst idx and x' = subst x in
+          if idx' == idx && x' == x then instr
+          else Mir.Istore (arr, idx', x')
         | Mir.Ivstore (arr, base, x, l) ->
-          Mir.Ivstore (arr, subst base, subst x, l)
+          let base' = subst base and x' = subst x in
+          if base' == base && x' == x then instr
+          else Mir.Ivstore (arr, base', x', l)
         | Mir.Iif (c, t, e) ->
-          let result = Mir.Iif (subst c, t, e) in
-          Hashtbl.reset map;
-          result
+          let c' = subst c in
+          Hashtbl.clear map;
+          if c' == c then instr else Mir.Iif (c', t, e)
         | Mir.Iloop l ->
-          let result =
-            Mir.Iloop
-              { l with
-                Mir.lo = subst l.Mir.lo;
-                step = subst l.Mir.step;
-                hi = subst l.Mir.hi }
-          in
-          Hashtbl.reset map;
-          result
+          let lo' = subst l.Mir.lo
+          and step' = subst l.Mir.step
+          and hi' = subst l.Mir.hi in
+          Hashtbl.clear map;
+          if lo' == l.Mir.lo && step' == l.Mir.step && hi' == l.Mir.hi then
+            instr
+          else Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' }
         | Mir.Iwhile _ ->
-          Hashtbl.reset map;
+          Hashtbl.clear map;
           instr
-        | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
+        | Mir.Iprint (fmt, ops) ->
+          let ops' = Rewrite.smap subst ops in
+          if ops' == ops then instr else Mir.Iprint (fmt, ops')
         | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
       block
   in

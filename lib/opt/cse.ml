@@ -1,84 +1,91 @@
 module Mir = Masc_mir.Mir
 
 let run (func : Mir.func) : Mir.func =
+  (* available: rvalue -> variable holding its value; subst: variables
+     replaced by an earlier equivalent, applied to later operands so
+     chained expressions keep matching. One set of tables per run,
+     reset at each block ([map_blocks] visits blocks sequentially and
+     the tables are reset at every in-block segment boundary anyway). *)
+  let available : (Mir.rvalue, Mir.var) Hashtbl.t = Hashtbl.create 16 in
+  (* last store per array: enables store-to-load forwarding *)
+  let store_avail : (int, Mir.operand * Mir.operand) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let subst_map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+  (* [kill] runs per definition, so its table scans must not allocate on
+     the (overwhelmingly common) nothing-stale outcome: the callbacks
+     are built once here over [kill_vid]/accumulator refs instead of
+     closing over the killed vid per call. *)
+  let kill_vid = ref (-1) in
+  let is_kill = function
+    | Mir.Ovar v -> v.Mir.vid = !kill_vid
+    | Mir.Oconst _ -> false
+  in
+  let stale_rvs = ref [] in
+  let scan_avail rv (v : Mir.var) =
+    if v.Mir.vid = !kill_vid || Rewrite.exists_operand is_kill rv then
+      stale_rvs := rv :: !stale_rvs
+  in
+  let scan_loads rv _ =
+    match rv with
+    | Mir.Rload _ | Mir.Rvload _ -> stale_rvs := rv :: !stale_rvs
+    | _ -> ()
+  in
+  let stale_arrs = ref [] in
+  let scan_stores arr (idx, x) =
+    if is_kill idx || is_kill x then stale_arrs := arr :: !stale_arrs
+  in
+  let stale_subst = ref [] in
+  let scan_subst k op =
+    match op with
+    | Mir.Ovar v when v.Mir.vid = !kill_vid -> stale_subst := k :: !stale_subst
+    | _ -> ()
+  in
+  let rm_avail rv = Hashtbl.remove available rv in
+  let rm_store arr = Hashtbl.remove store_avail arr in
+  let rm_subst k = Hashtbl.remove subst_map k in
   let process (block : Mir.block) : Mir.block =
-    (* available: rvalue -> variable holding its value; subst: variables
-       replaced by an earlier equivalent, applied to later operands so
-       chained expressions keep matching. *)
-    let available : (Mir.rvalue, Mir.var) Hashtbl.t = Hashtbl.create 16 in
-    (* last store per array: enables store-to-load forwarding *)
-    let store_avail : (int, Mir.operand * Mir.operand) Hashtbl.t =
-      Hashtbl.create 8
-    in
-    let subst_map : (int, Mir.operand) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.clear available;
+    Hashtbl.clear store_avail;
+    Hashtbl.clear subst_map;
     let subst (op : Mir.operand) =
       match op with
       | Mir.Ovar v -> (
-        match Hashtbl.find_opt subst_map v.Mir.vid with
-        | Some o -> o
-        | None -> op)
+        match Hashtbl.find subst_map v.Mir.vid with
+        | o -> o
+        | exception Not_found -> op)
       | Mir.Oconst _ -> op
     in
-    let subst_rvalue rv =
-      match rv with
-      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
-      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
-      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
-      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
-      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
-      | Mir.Rmove a -> Mir.Rmove (subst a)
-      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
-      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
-      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
-      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
-    in
-    let mentions vid (rv : Mir.rvalue) =
-      List.exists
-        (function
-          | Mir.Ovar v -> v.Mir.vid = vid
-          | Mir.Oconst _ -> false)
-        (Rewrite.operands_of_rvalue rv)
-    in
+    let subst_rvalue rv = Rewrite.map_operands subst rv in
     let kill vid =
-      let stale =
-        Hashtbl.fold
-          (fun rv v acc ->
-            if v.Mir.vid = vid || mentions vid rv then rv :: acc else acc)
-          available []
-      in
-      List.iter (Hashtbl.remove available) stale;
-      let stale_stores =
-        Hashtbl.fold
-          (fun arr (idx, x) acc ->
-            let uses_vid = function
-              | Mir.Ovar v -> v.Mir.vid = vid
-              | Mir.Oconst _ -> false
-            in
-            if uses_vid idx || uses_vid x then arr :: acc else acc)
-          store_avail []
-      in
-      List.iter (Hashtbl.remove store_avail) stale_stores;
+      kill_vid := vid;
+      Hashtbl.iter scan_avail available;
+      (match !stale_rvs with
+      | [] -> ()
+      | l ->
+        List.iter rm_avail l;
+        stale_rvs := []);
+      Hashtbl.iter scan_stores store_avail;
+      (match !stale_arrs with
+      | [] -> ()
+      | l ->
+        List.iter rm_store l;
+        stale_arrs := []);
       Hashtbl.remove subst_map vid;
-      let stale_subst =
-        Hashtbl.fold
-          (fun k op acc ->
-            match op with
-            | Mir.Ovar v when v.Mir.vid = vid -> k :: acc
-            | _ -> acc)
-          subst_map []
-      in
-      List.iter (Hashtbl.remove subst_map) stale_subst
+      Hashtbl.iter scan_subst subst_map;
+      match !stale_subst with
+      | [] -> ()
+      | l ->
+        List.iter rm_subst l;
+        stale_subst := []
     in
     let kill_loads () =
-      let stale =
-        Hashtbl.fold
-          (fun rv _ acc ->
-            match rv with
-            | Mir.Rload _ | Mir.Rvload _ -> rv :: acc
-            | _ -> acc)
-          available []
-      in
-      List.iter (Hashtbl.remove available) stale
+      Hashtbl.iter scan_loads available;
+      match !stale_rvs with
+      | [] -> ()
+      | l ->
+        List.iter rm_avail l;
+        stale_rvs := []
     in
     let cacheable = function
       | Mir.Rbin _ | Mir.Runop _ | Mir.Rmath _ | Mir.Rcomplex _
@@ -86,45 +93,55 @@ let run (func : Mir.func) : Mir.func =
         true
       | Mir.Rmove _ | Mir.Rintrin _ -> false
     in
-    List.map
+    Rewrite.smap
       (fun (instr : Mir.instr) ->
         match instr with
         | Mir.Idef (v, rv) -> (
-          let rv = subst_rvalue rv in
+          let rv' = subst_rvalue rv in
           (* store-to-load forwarding *)
-          let rv =
-            match rv with
+          let rv' =
+            match rv' with
             | Mir.Rload (arr, idx) -> (
-              match Hashtbl.find_opt store_avail arr.Mir.vid with
-              | Some (sidx, x) when sidx = idx -> Mir.Rmove x
-              | _ -> rv)
-            | _ -> rv
+              match Hashtbl.find store_avail arr.Mir.vid with
+              | sidx, x when sidx = idx -> Mir.Rmove x
+              | _ -> rv'
+              | exception Not_found -> rv')
+            | _ -> rv'
           in
-          match Hashtbl.find_opt available rv with
-          | Some prior
+          match Hashtbl.find available rv' with
+          | exception Not_found ->
+            kill v.Mir.vid;
+            if cacheable rv' then Hashtbl.replace available rv' v;
+            if rv' == rv then instr else Mir.Idef (v, rv')
+          | prior
             when prior.Mir.vid <> v.Mir.vid && prior.Mir.vty = v.Mir.vty ->
             kill v.Mir.vid;
             Hashtbl.replace subst_map v.Mir.vid (Mir.Ovar prior);
             Mir.Idef (v, Mir.Rmove (Mir.Ovar prior))
           | _ ->
             kill v.Mir.vid;
-            if cacheable rv then Hashtbl.replace available rv v;
-            Mir.Idef (v, rv))
+            if cacheable rv' then Hashtbl.replace available rv' v;
+            if rv' == rv then instr else Mir.Idef (v, rv'))
         | Mir.Istore (arr, idx, x) ->
           kill_loads ();
-          let idx = subst idx and x = subst x in
-          Hashtbl.replace store_avail arr.Mir.vid (idx, x);
-          Mir.Istore (arr, idx, x)
+          let idx' = subst idx and x' = subst x in
+          Hashtbl.replace store_avail arr.Mir.vid (idx', x');
+          if idx' == idx && x' == x then instr
+          else Mir.Istore (arr, idx', x')
         | Mir.Ivstore (arr, base, x, l) ->
           kill_loads ();
           Hashtbl.remove store_avail arr.Mir.vid;
-          Mir.Ivstore (arr, subst base, subst x, l)
+          let base' = subst base and x' = subst x in
+          if base' == base && x' == x then instr
+          else Mir.Ivstore (arr, base', x', l)
         | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ ->
-          Hashtbl.reset available;
-          Hashtbl.reset subst_map;
-          Hashtbl.reset store_avail;
+          Hashtbl.clear available;
+          Hashtbl.clear subst_map;
+          Hashtbl.clear store_avail;
           instr
-        | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
+        | Mir.Iprint (fmt, ops) ->
+          let ops' = Rewrite.smap subst ops in
+          if ops' == ops then instr else Mir.Iprint (fmt, ops')
         | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
       block
   in

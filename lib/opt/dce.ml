@@ -6,13 +6,13 @@ let read_counts (func : Mir.func) : (int, int) Hashtbl.t =
   let tbl = Hashtbl.create 64 in
   let bump = function
     | Mir.Ovar v ->
-      Hashtbl.replace tbl v.Mir.vid
-        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Mir.vid))
+      let cur = try Hashtbl.find tbl v.Mir.vid with Not_found -> 0 in
+      Hashtbl.replace tbl v.Mir.vid (cur + 1)
     | Mir.Oconst _ -> ()
   in
   Rewrite.iter_instrs
     (function
-      | Mir.Idef (_, rv) -> List.iter bump (Rewrite.operands_of_rvalue rv)
+      | Mir.Idef (_, rv) -> Rewrite.iter_operands bump rv
       | Mir.Istore (_, idx, v) ->
         bump idx;
         bump v
@@ -44,62 +44,95 @@ let rec block_has_effects (b : Mir.block) =
       | Mir.Iwhile _ -> true)
     b
 
-let one_round (func : Mir.func) : Mir.func * bool =
+(* The whole pass maintains ONE read-count table: dropping an
+   instruction subtracts exactly the reads it contributed (recursively
+   for dropped blocks), which is the same table [read_counts] would
+   rebuild on the remaining program — so the removal cascade (a def's
+   only reader dies, then the def) runs without re-scanning the
+   function per round. Removal is monotone (counts only decrease, and
+   [keep] is anti-monotone in them), so the reached fixpoint is the
+   same whichever order drops are discovered in. *)
+let run (func : Mir.func) : Mir.func =
   let reads = read_counts func in
   let read vid = Hashtbl.mem reads vid in
-  let changed = ref false in
-  let ret_ids =
-    List.map (fun (r : Mir.var) -> r.Mir.vid) func.Mir.rets
+  let drop = function
+    | Mir.Ovar v -> (
+      match Hashtbl.find_opt reads v.Mir.vid with
+      | Some n when n > 1 -> Hashtbl.replace reads v.Mir.vid (n - 1)
+      | Some _ -> Hashtbl.remove reads v.Mir.vid
+      | None -> ())
+    | Mir.Oconst _ -> ()
   in
+  let rec forget_instr (i : Mir.instr) =
+    match i with
+    | Mir.Idef (_, rv) -> Rewrite.iter_operands drop rv
+    | Mir.Istore (_, idx, v) ->
+      drop idx;
+      drop v
+    | Mir.Ivstore (_, base, v, _) ->
+      drop base;
+      drop v
+    | Mir.Iif (c, t, e) ->
+      drop c;
+      List.iter forget_instr t;
+      List.iter forget_instr e
+    | Mir.Iloop l ->
+      drop l.Mir.lo;
+      drop l.Mir.step;
+      drop l.Mir.hi;
+      List.iter forget_instr l.Mir.body
+    | Mir.Iwhile { cond; cond_block; body } ->
+      drop cond;
+      List.iter forget_instr cond_block;
+      List.iter forget_instr body
+    | Mir.Iprint (_, ops) -> List.iter drop ops
+    | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> ()
+  in
+  let ret_ids = List.map (fun (r : Mir.var) -> r.Mir.vid) func.Mir.rets in
   let keep_array (arr : Mir.var) =
     read arr.Mir.vid || List.mem arr.Mir.vid ret_ids
   in
-  let prune (block : Mir.block) : Mir.block =
-    List.filter_map
-      (fun (instr : Mir.instr) ->
-        match instr with
-        | Mir.Idef (v, rv) ->
-          (* Loads are removable when dead: lowered programs only emit
-             in-bounds accesses, so dropping one cannot hide a fault. *)
-          let removable =
-            Rewrite.pure rv
-            || match rv with Mir.Rload _ | Mir.Rvload _ -> true | _ -> false
-          in
-          if (not (read v.Mir.vid)) && removable
-             && not (List.mem v.Mir.vid ret_ids)
-          then begin
-            changed := true;
-            None
-          end
-          else Some instr
-        | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
-          if keep_array arr then Some instr
-          else begin
-            changed := true;
-            None
-          end
-        | Mir.Iloop l ->
-          if block_has_effects l.Mir.body then Some instr
-          else begin
-            changed := true;
-            None
-          end
-        | Mir.Iif (_, t, e) ->
-          if block_has_effects t || block_has_effects e then Some instr
-          else begin
-            changed := true;
-            None
-          end
-        | Mir.Icomment _ | Mir.Iwhile _ | Mir.Ibreak | Mir.Icontinue
-        | Mir.Ireturn | Mir.Iprint _ ->
-          Some instr)
-      block
+  let keep (instr : Mir.instr) =
+    match instr with
+    | Mir.Idef (v, rv) ->
+      (* Loads are removable when dead: lowered programs only emit
+         in-bounds accesses, so dropping one cannot hide a fault. *)
+      let removable =
+        Rewrite.pure rv
+        || match rv with Mir.Rload _ | Mir.Rvload _ -> true | _ -> false
+      in
+      read v.Mir.vid || (not removable) || List.mem v.Mir.vid ret_ids
+    | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) -> keep_array arr
+    | Mir.Iloop l -> block_has_effects l.Mir.body
+    | Mir.Iif (_, t, e) -> block_has_effects t || block_has_effects e
+    | Mir.Icomment _ | Mir.Iwhile _ | Mir.Ibreak | Mir.Icontinue
+    | Mir.Ireturn | Mir.Iprint _ ->
+      true
   in
-  (Rewrite.map_blocks prune func, !changed)
-
-let run func =
+  let changed = ref false in
+  (* Sharing-preserving filter: a block with nothing to remove is
+     returned physically, so no-change rounds (and clean pipeline runs)
+     allocate nothing. *)
+  let prune (block : Mir.block) : Mir.block =
+    let rec go (l : Mir.block) : Mir.block =
+      match l with
+      | [] -> l
+      | instr :: rest ->
+        if keep instr then begin
+          let rest' = go rest in
+          if rest' == rest then l else instr :: rest'
+        end
+        else begin
+          changed := true;
+          forget_instr instr;
+          go rest
+        end
+    in
+    go block
+  in
   let rec fix func n =
-    let func', changed = one_round func in
-    if changed && n < 20 then fix func' (n + 1) else func'
+    changed := false;
+    let func' = Rewrite.map_blocks prune func in
+    if !changed && n < 20 then fix func' (n + 1) else func'
   in
   fix func 0

@@ -39,7 +39,7 @@ let summarize (body : Mir.block) : summary =
         if Hashtbl.mem defs v.Mir.vid then raise No_fuse;
         note_complex v;
         Hashtbl.replace defs v.Mir.vid rv;
-        List.iter read (Rewrite.operands_of_rvalue rv);
+        Rewrite.iter_operands read rv;
         (match rv with
         | Mir.Rload (arr, idx) -> loads := (arr, idx) :: !loads
         | _ -> ())
@@ -156,13 +156,18 @@ let try_fuse (l1 : Mir.loop) (l2 : Mir.loop) : Mir.loop option =
 
 let run (func : Mir.func) : Mir.func =
   let process (block : Mir.block) : Mir.block =
-    let rec go = function
-      | Mir.Iloop l1 :: Mir.Iloop l2 :: rest -> (
+    let rec go (l : Mir.block) : Mir.block =
+      match l with
+      | Mir.Iloop l1 :: (Mir.Iloop l2 :: rest as tl) -> (
         match try_fuse l1 l2 with
         | Some fused -> go (Mir.Iloop fused :: rest)
-        | None -> Mir.Iloop l1 :: go (Mir.Iloop l2 :: rest))
-      | i :: rest -> i :: go rest
-      | [] -> []
+        | None ->
+          let tl' = go tl in
+          if tl' == tl then l else Mir.Iloop l1 :: tl')
+      | i :: rest ->
+        let rest' = go rest in
+        if rest' == rest then l else i :: rest'
+      | [] -> l
     in
     go block
   in

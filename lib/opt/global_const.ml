@@ -1,11 +1,11 @@
 module Mir = Masc_mir.Mir
 
-let run (func : Mir.func) : Mir.func =
+let propagate (func : Mir.func) : Mir.func =
   (* Count all definitions (anywhere) per variable. *)
   let def_counts = Hashtbl.create 32 in
   let bump vid =
     Hashtbl.replace def_counts vid
-      (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts vid))
+      (1 + (try Hashtbl.find def_counts vid with Not_found -> 0))
   in
   Rewrite.iter_instrs
     (function
@@ -21,7 +21,7 @@ let run (func : Mir.func) : Mir.func =
     (fun (i : Mir.instr) ->
       match i with
       | Mir.Idef (v, Mir.Rmove (Mir.Oconst c))
-        when Hashtbl.find_opt def_counts v.Mir.vid = Some 1
+        when (try Hashtbl.find def_counts v.Mir.vid = 1 with Not_found -> false)
              && v.Mir.vty = Mir.operand_ty (Mir.Oconst c) ->
         Hashtbl.replace consts v.Mir.vid c
       | _ -> ())
@@ -31,44 +31,62 @@ let run (func : Mir.func) : Mir.func =
     let subst (op : Mir.operand) =
       match op with
       | Mir.Ovar v -> (
-        match Hashtbl.find_opt consts v.Mir.vid with
-        | Some c -> Mir.Oconst c
-        | None -> op)
+        match Hashtbl.find consts v.Mir.vid with
+        | c -> Mir.Oconst c
+        | exception Not_found -> op)
       | Mir.Oconst _ -> op
     in
-    let subst_rvalue rv =
-      match rv with
-      | Mir.Rbin (op, a, b) -> Mir.Rbin (op, subst a, subst b)
-      | Mir.Runop (op, a) -> Mir.Runop (op, subst a)
-      | Mir.Rmath (n, args) -> Mir.Rmath (n, List.map subst args)
-      | Mir.Rcomplex (a, b) -> Mir.Rcomplex (subst a, subst b)
-      | Mir.Rload (arr, idx) -> Mir.Rload (arr, subst idx)
-      | Mir.Rmove a -> Mir.Rmove (subst a)
-      | Mir.Rvload (arr, base, l) -> Mir.Rvload (arr, subst base, l)
-      | Mir.Rvbroadcast (a, l) -> Mir.Rvbroadcast (subst a, l)
-      | Mir.Rvreduce (r, a) -> Mir.Rvreduce (r, subst a)
-      | Mir.Rintrin (n, args) -> Mir.Rintrin (n, List.map subst args)
-    in
+    let subst_rvalue rv = Rewrite.map_operands subst rv in
     let rewrite (block : Mir.block) : Mir.block =
-      List.map
+      Rewrite.smap
         (fun (instr : Mir.instr) ->
           match instr with
-          | Mir.Idef (v, rv) -> Mir.Idef (v, subst_rvalue rv)
-          | Mir.Istore (arr, idx, x) -> Mir.Istore (arr, subst idx, subst x)
+          | Mir.Idef (v, rv) ->
+            let rv' = subst_rvalue rv in
+            if rv' == rv then instr else Mir.Idef (v, rv')
+          | Mir.Istore (arr, idx, x) ->
+            let idx' = subst idx and x' = subst x in
+            if idx' == idx && x' == x then instr
+            else Mir.Istore (arr, idx', x')
           | Mir.Ivstore (arr, base, x, l) ->
-            Mir.Ivstore (arr, subst base, subst x, l)
-          | Mir.Iif (c, t, e) -> Mir.Iif (subst c, t, e)
+            let base' = subst base and x' = subst x in
+            if base' == base && x' == x then instr
+            else Mir.Ivstore (arr, base', x', l)
+          | Mir.Iif (c, t, e) ->
+            let c' = subst c in
+            if c' == c then instr else Mir.Iif (c', t, e)
           | Mir.Iloop l ->
-            Mir.Iloop
-              { l with
-                Mir.lo = subst l.Mir.lo;
-                step = subst l.Mir.step;
-                hi = subst l.Mir.hi }
+            let lo' = subst l.Mir.lo
+            and step' = subst l.Mir.step
+            and hi' = subst l.Mir.hi in
+            if lo' == l.Mir.lo && step' == l.Mir.step && hi' == l.Mir.hi then
+              instr
+            else Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' }
           | Mir.Iwhile { cond_block; cond; body } ->
-            Mir.Iwhile { cond_block; cond = subst cond; body }
-          | Mir.Iprint (fmt, ops) -> Mir.Iprint (fmt, List.map subst ops)
-          | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
+            let cond' = subst cond in
+            if cond' == cond then instr
+            else Mir.Iwhile { cond_block; cond = cond'; body }
+          | Mir.Iprint (fmt, ops) ->
+            let ops' = Rewrite.smap subst ops in
+            if ops' == ops then instr else Mir.Iprint (fmt, ops')
+          | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ ->
+            instr)
         block
     in
     Rewrite.map_blocks rewrite func
   end
+
+let run (func : Mir.func) : Mir.func =
+  (* Cheap gate: without a top-level constant move of matching type
+     there is nothing to propagate, and the def-count table — the only
+     allocation of a clean run — is never built. *)
+  let candidate =
+    List.exists
+      (fun (i : Mir.instr) ->
+        match i with
+        | Mir.Idef (v, Mir.Rmove (Mir.Oconst c)) ->
+          v.Mir.vty = Mir.operand_ty (Mir.Oconst c)
+        | _ -> false)
+      func.Mir.body
+  in
+  if candidate then propagate func else func

@@ -1,94 +1,96 @@
 module Mir = Masc_mir.Mir
 
 let run (func : Mir.func) : Mir.func =
+  (* [hoist_loop l] is [Some (hoisted, l')] when any body def could be
+     hoisted in front of the loop, [None] otherwise.
+
+     Hoisting is deliberately single-round: an operand is invariant only
+     when nothing in the loop's *original* body defines it, so a def
+     whose operand is itself a hoisted def stays put until the next
+     pipeline-scheduled licm run (which sees the new body). That keeps
+     one run linear in the body — and the pipeline's change tracking
+     re-runs licm anyway whenever a pass (including licm itself via its
+     dependents) reports a change. *)
+  let hoist_loop (l : Mir.loop) =
+    (* Top-level def count per variable (only single-definition
+       variables hoist safely); any entry at all means "defined
+       somewhere in the body", which is the invariance test. The loop's
+       own induction variable is defined by the loop header, not by any
+       body instruction, so it is entered manually. *)
+    let def_counts = Hashtbl.create 16 in
+    let bump vid =
+      let cur = try Hashtbl.find def_counts vid with Not_found -> 0 in
+      Hashtbl.replace def_counts vid (cur + 1)
+    in
+    let rec count_defs block =
+      List.iter
+        (fun i ->
+          match (i : Mir.instr) with
+          | Mir.Idef (v, _) -> bump v.Mir.vid
+          | Mir.Iloop inner ->
+            bump inner.Mir.ivar.Mir.vid;
+            count_defs inner.Mir.body
+          | Mir.Iif (_, t, e) ->
+            count_defs t;
+            count_defs e
+          | Mir.Iwhile { cond_block; body; _ } ->
+            count_defs cond_block;
+            count_defs body
+          | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
+          | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
+            ())
+        block
+    in
+    count_defs l.Mir.body;
+    bump l.Mir.ivar.Mir.vid;
+    let stored = Rewrite.stored_in l.Mir.body in
+    let nonempty_const_bounds =
+      match (l.Mir.lo, l.Mir.step, l.Mir.hi) with
+      | Mir.Oconst (Mir.Ci lo), Mir.Oconst (Mir.Ci step), Mir.Oconst (Mir.Ci hi)
+        ->
+        (step > 0 && lo <= hi) || (step < 0 && lo >= hi)
+      | _ -> false
+    in
+    let invariant_operand = function
+      | Mir.Ovar v -> not (Hashtbl.mem def_counts v.Mir.vid)
+      | Mir.Oconst _ -> true
+    in
+    let hoistable (i : Mir.instr) =
+      match i with
+      | Mir.Idef (v, rv) -> (
+        (try Hashtbl.find def_counts v.Mir.vid = 1 with Not_found -> false)
+        && Rewrite.forall_operands invariant_operand rv
+        &&
+        match rv with
+        | Mir.Rload (arr, _) ->
+          nonempty_const_bounds && not (Hashtbl.mem stored arr.Mir.vid)
+        | Mir.Rvload _ | Mir.Rintrin _ -> false
+        | _ -> Rewrite.pure rv)
+      | _ -> false
+    in
+    (* Probe before partitioning: [List.partition] copies the whole
+       body, which the common nothing-to-hoist case must not pay for. *)
+    if not (List.exists hoistable l.Mir.body) then None
+    else
+      let hoisted, body = List.partition hoistable l.Mir.body in
+      Some (hoisted, { l with Mir.body = body })
+  in
+  (* Sharing-preserving splice: a block whose loops hoist nothing is
+     returned physically, so clean pipeline runs allocate no lists. *)
   let process (block : Mir.block) : Mir.block =
-    List.concat_map
-      (fun (instr : Mir.instr) ->
-        match instr with
-        | Mir.Iloop l ->
-          let defined = Rewrite.defined_in l.Mir.body in
-          (* The loop's own induction variable is defined by the loop
-             header, not by any body instruction. *)
-          Hashtbl.replace defined l.Mir.ivar.Mir.vid ();
-          let stored = Rewrite.stored_in l.Mir.body in
-          (* Count top-level defs per variable: only single-definition
-             variables can be hoisted safely. *)
-          let def_counts = Hashtbl.create 16 in
-          let bump vid =
-            Hashtbl.replace def_counts vid
-              (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts vid))
-          in
-          let rec count_defs block =
-            List.iter
-              (fun i ->
-                match (i : Mir.instr) with
-                | Mir.Idef (v, _) -> bump v.Mir.vid
-                | Mir.Iloop inner ->
-                  bump inner.Mir.ivar.Mir.vid;
-                  count_defs inner.Mir.body
-                | Mir.Iif (_, t, e) ->
-                  count_defs t;
-                  count_defs e
-                | Mir.Iwhile { cond_block; body; _ } ->
-                  count_defs cond_block;
-                  count_defs body
-                | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
-                | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
-                  ())
-              block
-          in
-          count_defs l.Mir.body;
-          let nonempty_const_bounds =
-            match (l.Mir.lo, l.Mir.step, l.Mir.hi) with
-            | Mir.Oconst (Mir.Ci lo), Mir.Oconst (Mir.Ci step), Mir.Oconst (Mir.Ci hi)
-              ->
-              (step > 0 && lo <= hi) || (step < 0 && lo >= hi)
-            | _ -> false
-          in
-          let invariant_operand = function
-            | Mir.Ovar v -> not (Hashtbl.mem defined v.Mir.vid)
-            | Mir.Oconst _ -> true
-          in
-          let hoistable (i : Mir.instr) =
-            match i with
-            | Mir.Idef (v, rv) -> (
-              Hashtbl.find_opt def_counts v.Mir.vid = Some 1
-              && List.for_all invariant_operand (Rewrite.operands_of_rvalue rv)
-              &&
-              match rv with
-              | Mir.Rload (arr, _) ->
-                nonempty_const_bounds && not (Hashtbl.mem stored arr.Mir.vid)
-              | Mir.Rvload _ | Mir.Rintrin _ -> false
-              | _ -> Rewrite.pure rv)
-            | _ -> false
-          in
-          (* Hoist iteratively: moving one def can make another hoistable
-             only if we recompute the defined set, so run to fixpoint. *)
-          let rec loop body hoisted_rev =
-            let defined_now = Rewrite.defined_in body in
-            Hashtbl.replace defined_now l.Mir.ivar.Mir.vid ();
-            let invariant_operand = function
-              | Mir.Ovar v -> not (Hashtbl.mem defined_now v.Mir.vid)
-              | Mir.Oconst _ -> true
-            in
-            let hoistable' i =
-              hoistable i
-              &&
-              match i with
-              | Mir.Idef (_, rv) ->
-                List.for_all invariant_operand (Rewrite.operands_of_rvalue rv)
-              | _ -> false
-            in
-            match List.partition hoistable' body with
-            | [], _ -> (List.rev hoisted_rev, body)
-            | hoisted, rest -> loop rest (List.rev_append hoisted hoisted_rev)
-          in
-          let hoisted, body = loop l.Mir.body [] in
-          hoisted @ [ Mir.Iloop { l with Mir.body = body } ]
-        | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _
-        | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _
-        | Mir.Icomment _ ->
-          [ instr ])
-      block
+    let rec go (bl : Mir.block) : Mir.block =
+      match bl with
+      | [] -> bl
+      | (Mir.Iloop l as instr) :: rest -> (
+        match hoist_loop l with
+        | None ->
+          let rest' = go rest in
+          if rest' == rest then bl else instr :: rest'
+        | Some (hoisted, l') -> hoisted @ (Mir.Iloop l' :: go rest))
+      | instr :: rest ->
+        let rest' = go rest in
+        if rest' == rest then bl else instr :: rest'
+    in
+    go block
   in
   Rewrite.map_blocks process func

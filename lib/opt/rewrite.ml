@@ -1,28 +1,91 @@
 module Mir = Masc_mir.Mir
 
+(* Sharing-preserving list map: returns the original list (physical
+   equality) when [f] returns every element unchanged. All pass
+   traversals are built on it so an untouched subtree is shared, never
+   re-allocated — which is what makes the pipeline's did-this-pass-
+   change-anything check a single pointer comparison on the root. *)
+let smap f l =
+  let rec go l =
+    match l with
+    | [] -> l
+    | x :: tl ->
+      let x' = f x in
+      let tl' = go tl in
+      if x' == x && tl' == tl then l else x' :: tl'
+  in
+  go l
+
 let rec map_block_instr f (i : Mir.instr) : Mir.instr =
   match i with
-  | Mir.Iif (c, t, e) -> Mir.Iif (c, map_block f t, map_block f e)
-  | Mir.Iloop l -> Mir.Iloop { l with Mir.body = map_block f l.Mir.body }
+  | Mir.Iif (c, t, e) ->
+    let t' = map_block f t in
+    let e' = map_block f e in
+    if t' == t && e' == e then i else Mir.Iif (c, t', e')
+  | Mir.Iloop l ->
+    let body' = map_block f l.Mir.body in
+    if body' == l.Mir.body then i else Mir.Iloop { l with Mir.body = body' }
   | Mir.Iwhile { cond_block; cond; body } ->
-    Mir.Iwhile
-      { cond_block = map_block f cond_block; cond; body = map_block f body }
+    let cond_block' = map_block f cond_block in
+    let body' = map_block f body in
+    if cond_block' == cond_block && body' == body then i
+    else Mir.Iwhile { cond_block = cond_block'; cond; body = body' }
   | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
   | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
     i
 
-and map_block f (b : Mir.block) : Mir.block =
-  f (List.map (map_block_instr f) b)
+and map_block f (b : Mir.block) : Mir.block = f (smap (map_block_instr f) b)
 
 let map_blocks f (func : Mir.func) : Mir.func =
-  { func with Mir.body = map_block f func.Mir.body }
+  let body' = map_block f func.Mir.body in
+  if body' == func.Mir.body then func else { func with Mir.body = body' }
 
 let map_rvalues f (func : Mir.func) : Mir.func =
-  let rewrite_instr = function
-    | Mir.Idef (v, rv) -> Mir.Idef (v, f rv)
+  let rewrite_instr instr =
+    match instr with
+    | Mir.Idef (v, rv) ->
+      let rv' = f rv in
+      if rv' == rv then instr else Mir.Idef (v, rv')
     | other -> other
   in
-  map_blocks (List.map rewrite_instr) func
+  map_blocks (smap rewrite_instr) func
+
+(* Sharing-preserving operand substitution inside one rvalue. Base
+   arrays of loads/stores are [var]s, not operands, so — like every
+   pass's hand-rolled substitution used to — this only rewrites value
+   operands (indices, addends, arguments). *)
+let map_operands f (rv : Mir.rvalue) : Mir.rvalue =
+  match rv with
+  | Mir.Rbin (op, a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then rv else Mir.Rbin (op, a', b')
+  | Mir.Runop (op, a) ->
+    let a' = f a in
+    if a' == a then rv else Mir.Runop (op, a')
+  | Mir.Rmath (n, args) ->
+    let args' = smap f args in
+    if args' == args then rv else Mir.Rmath (n, args')
+  | Mir.Rcomplex (a, b) ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then rv else Mir.Rcomplex (a', b')
+  | Mir.Rload (arr, idx) ->
+    let idx' = f idx in
+    if idx' == idx then rv else Mir.Rload (arr, idx')
+  | Mir.Rmove a ->
+    let a' = f a in
+    if a' == a then rv else Mir.Rmove a'
+  | Mir.Rvload (arr, base, l) ->
+    let base' = f base in
+    if base' == base then rv else Mir.Rvload (arr, base', l)
+  | Mir.Rvbroadcast (a, l) ->
+    let a' = f a in
+    if a' == a then rv else Mir.Rvbroadcast (a', l)
+  | Mir.Rvreduce (r, a) ->
+    let a' = f a in
+    if a' == a then rv else Mir.Rvreduce (r, a')
+  | Mir.Rintrin (n, args) ->
+    let args' = smap f args in
+    if args' == args then rv else Mir.Rintrin (n, args')
 
 let rec iter_block g (b : Mir.block) =
   List.iter
@@ -55,16 +118,55 @@ let operands_of_rvalue = function
   | Mir.Rvreduce (_, a) -> [ a ]
   | Mir.Rintrin (_, args) -> args
 
+(* List-free variants for the pass analyses: rebuilding use/read tables
+   is the dominant per-run allocation of the whole fixpoint (the trees
+   themselves are shared, see [smap]), so the hot counters must not
+   materialize an operand list per instruction. *)
+let iter_operands f = function
+  | Mir.Rbin (_, a, b) ->
+    f a;
+    f b
+  | Mir.Runop (_, a) -> f a
+  | Mir.Rmath (_, args) -> List.iter f args
+  | Mir.Rcomplex (a, b) ->
+    f a;
+    f b
+  | Mir.Rload (arr, idx) ->
+    f (Mir.Ovar arr);
+    f idx
+  | Mir.Rmove a -> f a
+  | Mir.Rvload (arr, base, _) ->
+    f (Mir.Ovar arr);
+    f base
+  | Mir.Rvbroadcast (a, _) -> f a
+  | Mir.Rvreduce (_, a) -> f a
+  | Mir.Rintrin (_, args) -> List.iter f args
+
+let forall_operands p rv =
+  match rv with
+  | Mir.Rbin (_, a, b) -> p a && p b
+  | Mir.Runop (_, a) -> p a
+  | Mir.Rmath (_, args) -> List.for_all p args
+  | Mir.Rcomplex (a, b) -> p a && p b
+  | Mir.Rload (arr, idx) -> p (Mir.Ovar arr) && p idx
+  | Mir.Rmove a -> p a
+  | Mir.Rvload (arr, base, _) -> p (Mir.Ovar arr) && p base
+  | Mir.Rvbroadcast (a, _) -> p a
+  | Mir.Rvreduce (_, a) -> p a
+  | Mir.Rintrin (_, args) -> List.for_all p args
+
+let exists_operand p rv = not (forall_operands (fun o -> not (p o)) rv)
+
 let use_counts (func : Mir.func) : (int, int) Hashtbl.t =
   let tbl = Hashtbl.create 64 in
   let bump = function
     | Mir.Ovar v ->
-      Hashtbl.replace tbl v.Mir.vid
-        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Mir.vid))
+      let cur = try Hashtbl.find tbl v.Mir.vid with Not_found -> 0 in
+      Hashtbl.replace tbl v.Mir.vid (cur + 1)
     | Mir.Oconst _ -> ()
   in
   let instr = function
-    | Mir.Idef (_, rv) -> List.iter bump (operands_of_rvalue rv)
+    | Mir.Idef (_, rv) -> iter_operands bump rv
     | Mir.Istore (arr, idx, v) ->
       bump (Mir.Ovar arr);
       bump idx;

@@ -1,13 +1,35 @@
-(** Shared traversal helpers for MIR optimization passes. *)
+(** Shared traversal helpers for MIR optimization passes.
+
+    Every rewriting combinator here is {e sharing-preserving}: when the
+    callback leaves a node unchanged (returns its argument physically),
+    the combinator returns its own argument physically instead of
+    re-allocating an equal copy. Passes built on these combinators
+    therefore return the very same [Mir.func] when they had nothing to
+    do, so the pass manager ({!Masc_opt.Pipeline}) can detect "no
+    change" with one pointer comparison and untouched subtrees are
+    shared between pipeline iterations instead of churning the minor
+    heap. Pass authors must keep the same discipline in any hand-rolled
+    rebuilding (only allocate when a child actually changed). *)
 
 module Mir = Masc_mir.Mir
 
-(** [map_blocks f func] applies [f] to every block bottom-up (inner blocks
-    first), rebuilding the function. *)
+(** Sharing-preserving [List.map]: returns the original list when [f]
+    returns every element physically unchanged. *)
+val smap : ('a -> 'a) -> 'a list -> 'a list
+
+(** [map_blocks f func] applies [f] to every block bottom-up (inner
+    blocks first), rebuilding the function. Returns [func] itself when
+    nothing changed; [f] must be sharing-preserving for that to fire. *)
 val map_blocks : (Mir.block -> Mir.block) -> Mir.func -> Mir.func
 
-(** [map_rvalues f func] rewrites every rvalue in place. *)
+(** [map_rvalues f func] rewrites every rvalue in place
+    (sharing-preserving). *)
 val map_rvalues : (Mir.rvalue -> Mir.rvalue) -> Mir.func -> Mir.func
+
+(** [map_operands f rv] rewrites the value operands of one rvalue
+    (indices, arguments — not the base array of a load/store), returning
+    [rv] itself when [f] changed nothing. *)
+val map_operands : (Mir.operand -> Mir.operand) -> Mir.rvalue -> Mir.rvalue
 
 (** [iter_instrs f func] visits every instruction, innermost first. *)
 val iter_instrs : (Mir.instr -> unit) -> Mir.func -> unit
@@ -24,8 +46,23 @@ val defined_in : Mir.block -> (int, unit) Hashtbl.t
 (** Array variable ids stored to anywhere in a block (including nested). *)
 val stored_in : Mir.block -> (int, unit) Hashtbl.t
 
-(** [operands_of_rvalue rv] lists the operands an rvalue reads. *)
+(** [operands_of_rvalue rv] lists the operands an rvalue reads. Prefer
+    the allocation-free {!iter_operands}/{!forall_operands} in per-run
+    pass analyses; the list form is for call sites that genuinely need
+    a list value. *)
 val operands_of_rvalue : Mir.rvalue -> Mir.operand list
+
+(** [iter_operands f rv] applies [f] to each operand [rv] reads without
+    materializing a list (the base array of a load is passed boxed as
+    [Ovar], the only allocation). *)
+val iter_operands : (Mir.operand -> unit) -> Mir.rvalue -> unit
+
+(** [forall_operands p rv] — [p] holds for every operand of [rv];
+    short-circuiting and list-free. *)
+val forall_operands : (Mir.operand -> bool) -> Mir.rvalue -> bool
+
+(** [exists_operand p rv] — [p] holds for some operand of [rv]. *)
+val exists_operand : (Mir.operand -> bool) -> Mir.rvalue -> bool
 
 (** [pure rv] holds when re-evaluating the rvalue is safe (no memory
     reads; loads are excluded because stores may intervene). *)

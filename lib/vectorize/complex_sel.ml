@@ -45,7 +45,7 @@ let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
               :: Mir.Idef (acc, rv_add)
               :: rest
               when String.equal m cmul_d.Isa.iname
-                   && Hashtbl.find_opt uses t.Mir.vid = Some 1 -> (
+                   && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false) -> (
               let acc_operand =
                 match rv_add with
                 | Mir.Rintrin (ad, [ x; Mir.Ovar t' ])

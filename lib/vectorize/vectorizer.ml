@@ -58,15 +58,14 @@ let block_uses (b : Mir.block) : (int, int) Hashtbl.t =
   let bump = function
     | Mir.Ovar v ->
       Hashtbl.replace tbl v.Mir.vid
-        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Mir.vid))
+        (1 + (try Hashtbl.find tbl v.Mir.vid with Not_found -> 0))
     | Mir.Oconst _ -> ()
   in
   let rec go b =
     List.iter
       (fun (i : Mir.instr) ->
         match i with
-        | Mir.Idef (_, rv) ->
-          List.iter bump (Masc_opt.Rewrite.operands_of_rvalue rv)
+        | Mir.Idef (_, rv) -> Masc_opt.Rewrite.iter_operands bump rv
         | Mir.Istore (arr, idx, v) ->
           bump (Mir.Ovar arr);
           bump idx;
@@ -95,11 +94,12 @@ let block_uses (b : Mir.block) : (int, int) Hashtbl.t =
   go b;
   tbl
 
-let used_outside ctx (body : Mir.block) vid =
-  let inside =
-    Option.value ~default:0 (Hashtbl.find_opt (block_uses body) vid)
-  in
-  let total = Option.value ~default:0 (Hashtbl.find_opt ctx.func_uses vid) in
+(* [body_uses] is the candidate loop body's own use-count table, built
+   once per loop analysis — callers query it for every data variable, so
+   rebuilding it per query would scan the body quadratically. *)
+let used_outside ctx body_uses vid =
+  let inside = try Hashtbl.find body_uses vid with Not_found -> 0 in
+  let total = try Hashtbl.find ctx.func_uses vid with Not_found -> 0 in
   total > inside
 
 (* ---------- loop analysis ---------- *)
@@ -244,11 +244,8 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
       | Mir.Icomment _ -> emit i
       | Mir.Idef (v, rv) when Hashtbl.mem a.index_ids v.Mir.vid ->
         (* Index computation stays scalar; it must not read data vars. *)
-        if
-          not
-            (List.for_all index_operand_ok
-               (Masc_opt.Rewrite.operands_of_rvalue rv))
-        then raise Bail;
+        if not (Masc_opt.Rewrite.forall_operands index_operand_ok rv) then
+          raise Bail;
         emit i
       | Mir.Idef (v, rv) -> (
         match acc with
@@ -347,7 +344,7 @@ let fuse_mac ctx (block : Mir.block) : Mir.block =
              && String.equal ad add_name
              && t'.Mir.vid = t.Mir.vid
              && accu.Mir.vid = acc.Mir.vid
-             && Hashtbl.find_opt uses t.Mir.vid = Some 1 ->
+             && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false) ->
         Mir.Idef
           (acc, Mir.Rintrin (mac.Isa.iname, [ Mir.Ovar accu; a; b ]))
         :: go rest
@@ -361,8 +358,9 @@ let try_map_loop ctx (l : Mir.loop) : Mir.instr list option =
     let a = analyze_body l in
     if a.stores = [] then raise Bail;
     (* Data defs must not be observed after the loop. *)
+    let body_uses = block_uses l.Mir.body in
     Hashtbl.iter
-      (fun vid () -> if used_outside ctx l.Mir.body vid then raise Bail)
+      (fun vid () -> if used_outside ctx body_uses vid then raise Bail)
       a.data_ids;
     let body' = transform_body ctx l a ~acc:None in
     let pre, main_hi, epi_lo = emit_strip_mine ctx l in
@@ -402,7 +400,8 @@ let try_reduction_loop ctx (l : Mir.loop) : Mir.instr list option =
     in
     let acc_vid, op = match accs with [ x ] -> x | _ -> raise Bail in
     if not (Hashtbl.mem a.data_ids acc_vid) then raise Bail;
-    if not (used_outside ctx l.Mir.body acc_vid) then raise Bail;
+    let body_uses = block_uses l.Mir.body in
+    if not (used_outside ctx body_uses acc_vid) then raise Bail;
     (* Locate the accumulator variable record. *)
     let acc_var =
       let found = ref None in
@@ -417,7 +416,7 @@ let try_reduction_loop ctx (l : Mir.loop) : Mir.instr list option =
     (* Other data defs must be loop-local. *)
     Hashtbl.iter
       (fun vid () ->
-        if vid <> acc_vid && used_outside ctx l.Mir.body vid then raise Bail)
+        if vid <> acc_vid && used_outside ctx body_uses vid then raise Bail)
       a.data_ids;
     let red_kind, vred =
       match op with

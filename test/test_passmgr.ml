@@ -1,0 +1,129 @@
+(* Pass-manager and batch-compilation tests: fixpoint idempotence over
+   the real kernels, the domain pool, and the content-addressed compile
+   cache. *)
+
+module Mir = Masc_mir.Mir
+module K = Masc_kernels.Kernels
+module P = Masc_opt.Pipeline
+module C = Masc.Compiler
+
+let lower_kernel (k : K.kernel) =
+  Masc_mir.Lower.lower_program
+    (Masc_sema.Infer.infer_source k.K.source ~entry:k.K.entry
+       ~arg_types:k.K.arg_types)
+
+(* The fixpoint contract, checked on every bundled kernel at O2:
+   (a) running the pipeline twice pretty-prints identically to once, and
+   (b) on the pipeline's output every pass returns a physically equal
+   root — i.e. the schedule really converged and the passes really are
+   sharing-preserving (a pass that reallocated an unchanged function
+   would fail the [==]). *)
+let test_fixpoint_idempotent () =
+  List.iter
+    (fun (k : K.kernel) ->
+      let f0 = lower_kernel k in
+      let f1 = P.optimize P.O2 f0 in
+      let f2 = P.optimize P.O2 f1 in
+      Alcotest.(check string)
+        (k.K.kname ^ ": optimize twice = once")
+        (Masc_mir.Mir_pp.func_to_string f1)
+        (Masc_mir.Mir_pp.func_to_string f2);
+      List.iter
+        (fun (name, pass) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s is a no-op on the fixpoint" k.K.kname name)
+            true
+            (pass f1 == f1))
+        (P.passes P.O2))
+    (K.all ())
+
+(* A re-run on converged input must be skip-only: every pass ran at
+   least once, none changed, and the stats account for it. *)
+let test_fixpoint_stats () =
+  let k = K.fir ~n:64 ~m:8 () in
+  let f1 = P.optimize P.O2 (lower_kernel k) in
+  let f2, stats = P.run_fixpoint (P.passes P.O2) f1 in
+  Alcotest.(check bool) "no change on converged input" true (f2 == f1);
+  List.iter
+    (fun (s : P.pass_stat) ->
+      Alcotest.(check int) (s.P.ps_name ^ " runs") 1 s.P.runs;
+      Alcotest.(check int) (s.P.ps_name ^ " changed") 0 s.P.changed)
+    stats
+
+let test_parallel_map () =
+  let l = List.init 100 Fun.id in
+  let sq x = x * x in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map jobs=%d preserves order" jobs)
+        (List.map sq l)
+        (Masc.Parallel.map ~jobs sq l))
+    [ 1; 3; 8; 200 ];
+  Alcotest.(check (list int)) "empty" [] (Masc.Parallel.map ~jobs:4 sq []);
+  Alcotest.(check bool) "default_jobs positive" true
+    (Masc.Parallel.default_jobs () >= 1)
+
+let test_parallel_map_exn () =
+  match
+    Masc.Parallel.map ~jobs:4
+      (fun x -> if x = 17 then failwith "boom" else x)
+      (List.init 64 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failed"
+  | exception Masc.Parallel.Worker_failed (Failure msg) ->
+    Alcotest.(check string) "carries the worker's exception" "boom" msg
+
+let test_compile_cache () =
+  let k = K.fir ~n:64 ~m:8 () in
+  let compile_c config =
+    C.compile_cached config ~source:k.K.source ~entry:k.K.entry
+      ~arg_types:k.K.arg_types
+  in
+  let a = compile_c (C.proposed ()) in
+  let b = compile_c (C.proposed ()) in
+  Alcotest.(check bool) "same key shares the compilation" true (a == b);
+  let o1 = compile_c { (C.proposed ()) with C.opt_level = P.O1 } in
+  Alcotest.(check bool) "opt level is part of the key" true (o1 != a);
+  let base = compile_c (C.coder_baseline ()) in
+  Alcotest.(check bool) "config is part of the key" true (base != a);
+  (* cached and uncached compilations agree byte-for-byte *)
+  let fresh =
+    C.compile (C.proposed ()) ~source:k.K.source ~entry:k.K.entry
+      ~arg_types:k.K.arg_types
+  in
+  Alcotest.(check string) "cached C = fresh C" (C.c_source fresh)
+    (C.c_source a)
+
+(* The batch path: concurrent domains compiling the same key share one
+   compiled (and so one plan) and the same simulation result. *)
+let test_parallel_compile_and_run () =
+  let k = K.fir ~n:64 ~m:8 () in
+  let results =
+    Masc.Parallel.map ~jobs:4
+      (fun _ ->
+        let c =
+          C.compile_cached (C.proposed ()) ~source:k.K.source ~entry:k.K.entry
+            ~arg_types:k.K.arg_types
+        in
+        (C.run c (k.K.inputs ())).Masc_vm.Interp.cycles)
+      (List.init 8 Fun.id)
+  in
+  match results with
+  | first :: rest ->
+    List.iter (Alcotest.(check int) "all domains agree on cycles" first) rest
+  | [] -> Alcotest.fail "no results"
+
+let suites =
+  [ ( "pass manager",
+      [ Alcotest.test_case "fixpoint idempotence (all kernels, O2)" `Quick
+          test_fixpoint_idempotent;
+        Alcotest.test_case "converged input is skip-only" `Quick
+          test_fixpoint_stats ] );
+    ( "parallel+cache",
+      [ Alcotest.test_case "Parallel.map" `Quick test_parallel_map;
+        Alcotest.test_case "Parallel.map propagates failures" `Quick
+          test_parallel_map_exn;
+        Alcotest.test_case "compile cache identity" `Quick test_compile_cache;
+        Alcotest.test_case "parallel compile+run agree" `Quick
+          test_parallel_compile_and_run ] ) ]
