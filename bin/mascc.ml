@@ -7,13 +7,24 @@
      kernels   list the bundled benchmark kernels
 
    Argument-type specifications follow MATLAB Coder's -args idea in a
-   compact syntax: "double:1x1024,double:1x32,complex:8x8,double". *)
+   compact syntax: "double:1x1024,double:1x32,complex:8x8,double".
+
+   Exit codes: 0 success; 1 diagnostics with errors (or warnings under
+   --Werror, or a simulator trap); 2 command-line usage errors; 3
+   internal compiler error. *)
 
 open Cmdliner
 module C = Masc.Compiler
+module Diag = Masc_frontend.Diag
 module MT = Masc_sema.Mtype
 module I = Masc_vm.Interp
 module V = Masc_vm.Value
+
+(* Usage-class failures (bad flag values, nonsensical flag
+   combinations): exit code 2, distinct from source diagnostics. *)
+exception Usage of string
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
 
 let parse_arg_spec (spec : string) : MT.t list =
   if String.trim spec = "" then []
@@ -35,10 +46,8 @@ let parse_arg_spec (spec : string) : MT.t list =
              | "int" -> (MT.Real, MT.Int)
              | "bool" -> (MT.Real, MT.Bool)
              | other ->
-               failwith
-                 (Printf.sprintf
-                    "unknown base type '%s' (use double, complex, int, bool)"
-                    other)
+               usage "unknown base type '%s' (use double, complex, int, bool)"
+                 other
            in
            match dims_s with
            | None -> MT.scalar ~cplx base
@@ -47,12 +56,12 @@ let parse_arg_spec (spec : string) : MT.t list =
              | [ r; c ] -> (
                match (int_of_string_opt r, int_of_string_opt c) with
                | Some r, Some c -> MT.matrix ~cplx base r c
-               | _ -> failwith ("bad dimensions: " ^ dims))
+               | _ -> usage "bad dimensions: %s" dims)
              | [ n ] -> (
                match int_of_string_opt n with
                | Some n -> MT.row_vector ~cplx base n
-               | None -> failwith ("bad dimensions: " ^ dims))
-             | _ -> failwith ("bad dimensions: " ^ dims)))
+               | None -> usage "bad dimensions: %s" dims)
+             | _ -> usage "bad dimensions: %s" dims))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -73,12 +82,11 @@ let resolve_target name isa_file =
     match Masc_asip.Targets.by_name name with
     | Some t -> t
     | None ->
-      failwith
-        (Printf.sprintf "unknown target '%s'; available: %s" name
-           (String.concat ", "
-              (List.map
-                 (fun (t : Masc_asip.Isa.t) -> t.Masc_asip.Isa.tname)
-                 Masc_asip.Targets.all))))
+      usage "unknown target '%s'; available: %s" name
+        (String.concat ", "
+           (List.map
+              (fun (t : Masc_asip.Isa.t) -> t.Masc_asip.Isa.tname)
+              Masc_asip.Targets.all)))
 
 let config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex =
   if coder then C.coder_baseline ~isa ()
@@ -88,14 +96,72 @@ let config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex =
       vectorize = not no_vectorize;
       select_complex = not no_complex }
 
-let handle_errors f =
-  try f () with
+(* The phase the driver is in when an unexpected exception escapes —
+   named in the internal-compiler-error report. *)
+let current_phase = ref "startup"
+
+let rec handle_exn = function
+  | Usage msg ->
+    Printf.eprintf "mascc: %s\n" msg;
+    exit 2
+  | Sys_error msg ->
+    Printf.eprintf "mascc: %s\n" msg;
+    exit 2
   | Masc_frontend.Diag.Error _ as e ->
+    (* raise-first paths that bypass the accumulating driver *)
     Printf.eprintf "error: %s\n" (Masc_frontend.Diag.to_string e);
     exit 1
-  | Failure msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+  | Masc.Parallel.Worker_failed e -> handle_exn e
+  | e ->
+    (* Anything else is a compiler defect, not a user mistake: report it
+       as such, with the phase, and use a distinct exit code so scripts
+       can tell ICEs from rejected programs. *)
+    Printf.eprintf "mascc: internal compiler error (phase: %s): %s\n"
+      !current_phase (Printexc.to_string e);
+    exit 3
+
+let handle_errors f = try f () with e -> handle_exn e
+
+(* ---- diagnostics reporting ---- *)
+
+type diag_format = Text | Json
+
+(* All diagnostics go to stderr (stdout carries the generated C / the
+   simulation report). Text mode renders the GCC-style caret form,
+   prefixed with the file so batch output stays attributable; json mode
+   prints one stable JSON object per line. *)
+let print_diag ~file ~source fmt (d : Diag.t) =
+  match fmt with
+  | Text -> Printf.eprintf "%s: %s\n" file (Diag.render ~source d)
+  | Json -> prerr_endline (Diag.to_json d)
+
+(* Report a file's diagnostics; [true] when the file is shippable
+   (no errors, and no warnings under --Werror). *)
+let report_diags ~file ~source ~fmt ~werror diags ok =
+  List.iter (print_diag ~file ~source fmt) diags;
+  let has_warning =
+    List.exists
+      (fun (d : Diag.t) -> d.Diag.severity = Diag.Severity.Warning)
+      diags
+  in
+  if ok && werror && has_warning then begin
+    Printf.eprintf "mascc: %s: warnings treated as errors\n" file;
+    false
+  end
+  else ok
+
+let trap_diag (e : exn) : Diag.t option =
+  match e with
+  | Masc_vm.Exec.Trap { kind; loc; steps_executed } ->
+    Some
+      { Diag.severity = Diag.Severity.Error; phase = Diag.Simulate;
+        span = Masc_frontend.Loc.dummy;
+        message = Masc_vm.Exec.trap_message ~kind ~loc ~steps_executed }
+  | Masc_vm.Exec.Runtime_error msg ->
+    Some
+      { Diag.severity = Diag.Severity.Error; phase = Diag.Simulate;
+        span = Masc_frontend.Loc.dummy; message = msg }
+  | _ -> None
 
 (* ---- compile ---- *)
 
@@ -110,10 +176,13 @@ let vec_note (compiled : C.compiled) =
     compiled.C.cplx_stats.Masc_vectorize.Complex_sel.cadd
 
 let do_compile files entry args_spec target isa_file opt_level coder
-    no_vectorize no_complex output emit_header dump_stages opt_stats jobs =
+    no_vectorize no_complex output emit_header dump_stages opt_stats jobs
+    diag_fmt werror =
   handle_errors @@ fun () ->
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
+  let arg_types = parse_arg_spec args_spec in
+  current_phase := "compile";
   let compile_one file =
     let source = read_file file in
     let entry =
@@ -121,55 +190,75 @@ let do_compile files entry args_spec target isa_file opt_level coder
       | Some e -> e
       | None -> Filename.remove_extension (Filename.basename file)
     in
-    (file, C.compile config ~source ~entry ~arg_types:(parse_arg_spec args_spec))
+    let compiled, diags = C.compile_file config ~source ~entry ~arg_types in
+    (file, source, compiled, diags)
+  in
+  (* Reporting happens in the calling domain, in command-line order, so
+     per-file diagnostics aggregate deterministically under --jobs. *)
+  let report (file, source, compiled, diags) =
+    if report_diags ~file ~source ~fmt:diag_fmt ~werror diags
+         (compiled <> None)
+    then compiled
+    else None
   in
   match files with
-  | [ file ] ->
-    let _, compiled = compile_one file in
-    if dump_stages then print_string (C.stage_dump compiled)
-    else begin
-      let c_text = C.c_source compiled in
-      (match output with
-      | Some path ->
-        write_file path c_text;
-        Printf.printf "wrote %s\n" path
-      | None -> print_string c_text);
-      if emit_header then begin
-        let hpath =
-          match output with
-          | Some path ->
-            Filename.concat (Filename.dirname path)
-              Masc_codegen.Runtime.header_filename
-          | None -> Masc_codegen.Runtime.header_filename
-        in
-        write_file hpath (C.runtime_header compiled);
-        Printf.printf "wrote %s\n" hpath
+  | [ file ] -> (
+    let r = compile_one file in
+    match report r with
+    | None -> exit 1
+    | Some compiled ->
+      current_phase := "codegen";
+      if dump_stages then print_string (C.stage_dump compiled)
+      else begin
+        let c_text = C.c_source compiled in
+        (match output with
+        | Some path ->
+          write_file path c_text;
+          Printf.printf "wrote %s\n" path
+        | None -> print_string c_text);
+        if emit_header then begin
+          let hpath =
+            match output with
+            | Some path ->
+              Filename.concat (Filename.dirname path)
+                Masc_codegen.Runtime.header_filename
+            | None -> Masc_codegen.Runtime.header_filename
+          in
+          write_file hpath (C.runtime_header compiled);
+          Printf.printf "wrote %s\n" hpath
+        end;
+        print_endline (vec_note compiled)
       end;
-      print_endline (vec_note compiled)
-    end;
-    if opt_stats then prerr_string (C.opt_stats_dump compiled)
+      if opt_stats then prerr_string (C.opt_stats_dump compiled))
   | files ->
     (* Batch mode: each FILE.m compiles (in parallel with --jobs) to a
        sibling FILE.c; stdout/-o/--dump-stages make no sense across
        several translation units. *)
     if output <> None || dump_stages then
-      failwith "--output/--dump-stages require a single input file";
+      usage "--output/--dump-stages require a single input file";
     let jobs =
       if jobs <= 0 then Masc.Parallel.default_jobs () else jobs
     in
-    let compiled = Masc.Parallel.map ~jobs compile_one files in
+    let results = Masc.Parallel.map ~jobs compile_one files in
+    current_phase := "codegen";
     (* Writing and reporting stay in the calling domain so the output
        order matches the command line. *)
-    List.iter
-      (fun (file, compiled) ->
-        let path = Filename.remove_extension file ^ ".c" in
-        write_file path (C.c_source compiled);
-        Printf.printf "wrote %s\n" path;
-        print_endline (vec_note compiled);
-        if opt_stats then prerr_string (C.opt_stats_dump compiled))
-      compiled;
+    let shipped =
+      List.filter_map
+        (fun ((file, _, _, _) as r) ->
+          match report r with
+          | None -> None
+          | Some compiled ->
+            let path = Filename.remove_extension file ^ ".c" in
+            write_file path (C.c_source compiled);
+            Printf.printf "wrote %s\n" path;
+            print_endline (vec_note compiled);
+            if opt_stats then prerr_string (C.opt_stats_dump compiled);
+            Some (file, compiled))
+        results
+    in
     if emit_header then begin
-      match compiled with
+      match shipped with
       | (file, first) :: _ ->
         let hpath =
           Filename.concat (Filename.dirname file)
@@ -178,7 +267,8 @@ let do_compile files entry args_spec target isa_file opt_level coder
         write_file hpath (C.runtime_header first);
         Printf.printf "wrote %s\n" hpath
       | [] -> ()
-    end
+    end;
+    if List.length shipped <> List.length files then exit 1
 
 (* ---- run ---- *)
 
@@ -201,7 +291,7 @@ let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
     arg_types
 
 let do_run file entry args_spec target isa_file opt_level coder no_vectorize
-    no_complex seed show_output opt_stats =
+    no_complex seed show_output opt_stats diag_fmt werror fuel =
   handle_errors @@ fun () ->
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
@@ -212,9 +302,30 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
     | None -> Filename.remove_extension (Filename.basename file)
   in
   let arg_types = parse_arg_spec args_spec in
-  let compiled = C.compile config ~source ~entry ~arg_types in
+  current_phase := "compile";
+  let compiled, diags = C.compile_file config ~source ~entry ~arg_types in
+  let compiled =
+    if report_diags ~file ~source ~fmt:diag_fmt ~werror diags
+         (compiled <> None)
+    then compiled
+    else None
+  in
+  let compiled = match compiled with Some c -> c | None -> exit 1 in
   let inputs = random_inputs ~seed arg_types in
-  let result = C.run compiled inputs in
+  current_phase := "simulate";
+  let result =
+    match C.run ?fuel compiled inputs with
+    | result -> result
+    | exception e -> (
+      (* Guardrail traps and runtime failures are structured program
+         diagnostics, not driver crashes: render them in the requested
+         format and use the diagnostics exit code. *)
+      match trap_diag e with
+      | Some d ->
+        print_diag ~file ~source diag_fmt d;
+        exit 1
+      | None -> raise e)
+  in
   if show_output && result.I.output <> "" then begin
     print_string result.I.output;
     print_newline ()
@@ -339,35 +450,71 @@ let seed_arg =
 let show_output_arg =
   Arg.(value & flag & info [ "show-output" ] ~doc:"Print disp/fprintf output")
 
+let diag_format_arg =
+  Arg.(value
+       & opt (enum [ ("text", Text); ("json", Json) ]) Text
+       & info [ "diag-format" ] ~docv:"FMT"
+           ~doc:"Diagnostic rendering on stderr: $(b,text) (caret \
+                 snippets) or $(b,json) (one object per line)")
+
+let werror_arg =
+  Arg.(value & flag
+       & info [ "Werror" ] ~doc:"Treat warnings as errors (exit 1)")
+
+let fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fuel" ] ~docv:"N"
+           ~doc:"Dynamic-instruction budget for the simulator (default \
+                 1e9); exceeding it raises a structured trap instead of \
+                 hanging")
+
+(* The documented exit-code convention; cmdliner's own codes are folded
+   into it at the bottom of [main]. *)
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on reported errors (or warnings under $(b,--Werror)), \
+            including simulator traps.";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+    Cmd.Exit.info 3 ~doc:"on an internal compiler error." ]
+
 let compile_cmd =
   let doc = "compile a MATLAB file to ANSI C with ASIP intrinsics" in
   Cmd.v
-    (Cmd.info "compile" ~doc)
+    (Cmd.info "compile" ~doc ~exits)
     Term.(
       const do_compile $ files_arg $ entry_arg $ args_arg $ target_arg
       $ isa_arg $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ output_arg
-      $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg)
+      $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg $ diag_format_arg
+      $ werror_arg)
 
 let run_cmd =
   let doc = "compile and execute on the cycle-accounting ASIP simulator" in
   Cmd.v
-    (Cmd.info "run" ~doc)
+    (Cmd.info "run" ~doc ~exits)
     Term.(
       const do_run $ file_arg $ entry_arg $ args_arg $ target_arg $ isa_arg
       $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ seed_arg
-      $ show_output_arg $ opt_stats_arg)
+      $ show_output_arg $ opt_stats_arg $ diag_format_arg $ werror_arg
+      $ fuel_arg)
 
 let targets_cmd =
   Cmd.v
-    (Cmd.info "targets" ~doc:"list built-in target descriptions")
+    (Cmd.info "targets" ~doc:"list built-in target descriptions" ~exits)
     Term.(const do_targets $ const ())
 
 let kernels_cmd =
   Cmd.v
-    (Cmd.info "kernels" ~doc:"list the bundled benchmark kernels")
+    (Cmd.info "kernels" ~doc:"list the bundled benchmark kernels" ~exits)
     Term.(const do_kernels $ const ())
 
 let () =
   let doc = "retargetable MATLAB-to-C compiler for ASIPs" in
-  let info = Cmd.info "mascc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; targets_cmd; kernels_cmd ]))
+  let info = Cmd.info "mascc" ~version:"1.0.0" ~doc ~exits in
+  let code =
+    Cmd.eval ~catch:false
+      (Cmd.group info [ compile_cmd; run_cmd; targets_cmd; kernels_cmd ])
+  in
+  (* Fold cmdliner's reserved codes into the documented convention:
+     124 (cli error) -> 2, 125 (internal) -> 3. *)
+  exit (match code with 124 -> 2 | 125 -> 3 | c -> c)

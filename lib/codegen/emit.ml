@@ -44,6 +44,7 @@ let sty_ctype (s : Mir.scalar_ty) =
     match s.Mir.base with
     | MT.Double -> "double"
     | MT.Int | MT.Bool -> "int"
+    | MT.Err -> invalid_arg "Emit.sty_ctype: poison type reached codegen"
 
 let operand_sty (op : Mir.operand) =
   match Mir.operand_ty op with Mir.Tscalar s | Mir.Tarray (s, _) -> s

@@ -1,6 +1,8 @@
 module Isa = Masc_asip.Isa
 module Cost_model = Masc_asip.Cost_model
 module Targets = Masc_asip.Targets
+module Diag = Masc_frontend.Diag
+module Loc = Masc_frontend.Loc
 module Infer = Masc_sema.Infer
 module Lower = Masc_mir.Lower
 module Pipeline = Masc_opt.Pipeline
@@ -52,16 +54,24 @@ let cleanup_passes =
    MASC_TIME_STAGES, to keep the hot path branch-on-load). *)
 let verify_stages = Sys.getenv_opt "MASC_VERIFY_STAGES" <> None
 
-let compile ?passes config ~source ~entry ~arg_types =
+(* Internal signal: the front end recorded errors into an accumulating
+   sink; the poisoned typed AST must not be lowered. Only reachable with
+   a [Ctx] sink, and caught by [compile_file]. *)
+exception Frontend_errors
+
+let compile_with ?passes ~sink config ~source ~entry ~arg_types =
   (* [timed] is free when MASC_TIME_STAGES is unset; set it to get one
      stderr line per front-end stage here and per pass inside
      [Pipeline.optimize]. *)
   let timed name f x = Pipeline.timed "stage" name f x in
   let typed =
     timed "infer"
-      (fun arg_types -> Infer.infer_source source ~entry ~arg_types)
+      (fun arg_types -> Infer.infer_source ~sink source ~entry ~arg_types)
       arg_types
   in
+  (match sink with
+  | Diag.Ctx c when Diag.error_count c > 0 -> raise Frontend_errors
+  | Diag.Ctx _ | Diag.Raise -> ());
   let mir_raw = timed "lower" Lower.lower_program typed in
   if verify_stages then Masc_mir.Verify.check mir_raw;
   let mir, opt_stats =
@@ -73,13 +83,32 @@ let compile ?passes config ~source ~entry ~arg_types =
     | Some ps -> Pipeline.run_fixpoint ps mir_raw
   in
   if verify_stages then Masc_mir.Verify.check mir;
+  (* Degradation ladder: the SIMD and complex-ISE stages are
+     optimizations, so any failure inside them degrades to the scalar
+     MIR they were handed plus a warning — a missing idiom or a bug in
+     either stage must never abort a compile that has a correct scalar
+     form in hand. *)
+  let degrade stage phase scalar zero_stats f =
+    try f () with
+    | Diag.Budget_exhausted _ as e -> raise e
+    | e ->
+      Diag.report sink Diag.Severity.Warning phase Loc.dummy
+        "%s failed (%s); keeping the scalar form" stage
+        (Printexc.to_string e);
+      (scalar, zero_stats)
+  in
   let mir, vec_stats =
-    if config.vectorize then timed "vectorize" (Vectorizer.run config.isa) mir
+    if config.vectorize then
+      degrade "vectorizer" Diag.Vectorize mir
+        { Vectorizer.map_loops = 0; reduction_loops = 0 }
+        (fun () -> timed "vectorize" (Vectorizer.run ~sink config.isa) mir)
     else (mir, { Vectorizer.map_loops = 0; reduction_loops = 0 })
   in
   let mir, cplx_stats =
     if config.select_complex then
-      timed "complex-sel" (Complex_sel.run config.isa) mir
+      degrade "complex-ISE selection" Diag.Vectorize mir
+        { Complex_sel.cmul = 0; cmac = 0; cadd = 0 }
+        (fun () -> timed "complex-sel" (Complex_sel.run ~sink config.isa) mir)
     else (mir, { Complex_sel.cmul = 0; cmac = 0; cadd = 0 })
   in
   let mir, cleanup_stats =
@@ -94,6 +123,30 @@ let compile ?passes config ~source ~entry ~arg_types =
       | _ -> [ ("optimize", opt_stats); ("cleanup", cleanup_stats) ]);
     plan_lock = Mutex.create ();
     plan_memo = None }
+
+let compile ?passes config ~source ~entry ~arg_types =
+  compile_with ?passes ~sink:Diag.Raise config ~source ~entry ~arg_types
+
+(* Batch-friendly entry point: every diagnostic the pipeline produced,
+   in emission order, next to the result. [None] means errors were
+   recorded (or a phase bailed) and there is nothing to ship; warnings
+   and notes alone never block the compile. *)
+let compile_file ?passes ?error_budget config ~source ~entry ~arg_types =
+  let ctx = Diag.create ?error_budget () in
+  let sink = Diag.Ctx ctx in
+  let result =
+    match compile_with ?passes ~sink config ~source ~entry ~arg_types with
+    | c -> Some c
+    | exception Frontend_errors -> None
+    | exception Diag.Budget_exhausted _ -> None
+    | exception Diag.Error (phase, span, msg) ->
+      (* A phase without its own recovery (lowering, verification)
+         raised; fold the failure into the accumulated list. *)
+      (try Diag.report sink Diag.Severity.Error phase span "%s" msg
+       with Diag.Budget_exhausted _ -> ());
+      None
+  in
+  (result, Diag.to_list ctx)
 
 (* The execution plan is derived data: built on first [run], reused for
    every subsequent simulation of this compilation (the benchmark
@@ -160,8 +213,8 @@ let c_source c =
 
 let runtime_header c = Masc_codegen.Runtime.header c.config.isa
 
-let run ?max_cycles c inputs =
-  Masc_vm.Plan.execute ?max_cycles (plan c) inputs
+let run ?max_cycles ?fuel ?max_alloc_bytes c inputs =
+  Masc_vm.Plan.execute ?max_cycles ?fuel ?max_alloc_bytes (plan c) inputs
 
 let stage_dump c =
   let b = Buffer.create 8192 in

@@ -66,6 +66,25 @@ val compile :
   arg_types:Masc_sema.Mtype.t list ->
   compiled
 
+(** [compile_file config ~source ~entry ~arg_types] is {!compile} with
+    an accumulating diagnostic context: the front end recovers
+    (panic-mode parsing, type poisoning) and reports every independent
+    error in one run, the SIMD / complex-ISE stages degrade to the
+    scalar form with a warning instead of aborting, and missing-ISE
+    notes carry their cycle deltas. Returns the compilation (or [None]
+    when errors were recorded — a poisoned program is never lowered, and
+    {!Masc_frontend.Diag.Budget_exhausted} is folded into [None]) along
+    with every diagnostic in emission order. Warnings and notes alone
+    never block the compile. Never raises for malformed input. *)
+val compile_file :
+  ?passes:(string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list ->
+  ?error_budget:int ->
+  config ->
+  source:string ->
+  entry:string ->
+  arg_types:Masc_sema.Mtype.t list ->
+  compiled option * Masc_frontend.Diag.t list
+
 (** [compile_cached] is {!compile} behind a process-wide
     content-addressed cache keyed by (source digest, entry, argument
     types, ISA name + structural digest, mode, opt level, stage
@@ -90,9 +109,13 @@ val c_source : compiled -> string
 (** The matching self-contained runtime header text. *)
 val runtime_header : compiled -> string
 
-(** Execute on the simulator with the configuration's cost model. *)
+(** Execute on the simulator with the configuration's cost model.
+    Raises {!Masc_vm.Exec.Trap} when a guardrail fires (fuel budget,
+    cycle limit, allocation cap). *)
 val run :
   ?max_cycles:int ->
+  ?fuel:int ->
+  ?max_alloc_bytes:int ->
   compiled ->
   Masc_vm.Interp.xvalue list ->
   Masc_vm.Interp.result

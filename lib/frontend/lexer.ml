@@ -18,6 +18,7 @@ type state = {
   mutable prev : Token.kind option;  (* last non-newline token produced *)
   mutable spaced : bool;  (* whitespace seen since previous token *)
   mutable acc : Token.t list;  (* produced tokens, reversed *)
+  sink : Diag.sink;
 }
 
 let current_pos st : Loc.pos = { line = st.line; col = st.col; offset = st.pos }
@@ -38,9 +39,13 @@ let advance st =
     st.pos <- st.pos + 1
   end
 
+(* Report a lexical error through the sink. Under [Raise] this raises;
+   under an accumulating context it returns and the call site recovers
+   (each recovery consumes at least one character or ends the current
+   token, so the scan always makes progress). *)
 let error st fmt =
   let p = current_pos st in
-  Diag.error Lex (Loc.span p p) fmt
+  Diag.report st.sink Diag.Severity.Error Diag.Lex (Loc.span p p) fmt
 
 let emit st start_pos kind =
   let span = Loc.span start_pos (current_pos st) in
@@ -132,7 +137,10 @@ let lex_number st =
   let value =
     match float_of_string_opt text with
     | Some v -> v
-    | None -> error st "malformed number '%s'" text
+    | None ->
+      (* Recovery: stand in a zero so the parse can continue. *)
+      error st "malformed number '%s'" text;
+      0.0
   in
   match peek st with
   | ('i' | 'j') when not (is_alnum (peek2 st)) ->
@@ -240,12 +248,18 @@ let lex_op st =
     | '\'' ->
       advance st;
       emit st start_pos Token.DOTQUOTE
-    | _ -> error st "unexpected '.'")
-  | c -> error st "unexpected character '%c'" c
+    | _ ->
+      (* Recovery: the '.' is already consumed, so just drop it. *)
+      error st "unexpected '.'")
+  | c ->
+    error st "unexpected character '%c'" c;
+    (* Recovery: skip the offending character. *)
+    advance st
 
-let tokenize src =
+let tokenize ?(sink = Diag.Raise) src =
   let st =
-    { src; pos = 0; line = 1; col = 1; prev = None; spaced = false; acc = [] }
+    { src; pos = 0; line = 1; col = 1; prev = None; spaced = false; acc = [];
+      sink }
   in
   let rec loop () =
     if not (at_end st) then begin

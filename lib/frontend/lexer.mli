@@ -7,5 +7,11 @@
     as {!Token.NEWLINE} tokens (consecutive breaks are collapsed). *)
 
 (** [tokenize src] lexes the whole buffer. The result always ends with a
-    single {!Token.EOF} token. Raises {!Diag.Error} on malformed input. *)
-val tokenize : string -> Token.t list
+    single {!Token.EOF} token.
+
+    With the default [Raise] sink, raises {!Diag.Error} on the first
+    malformed construct. With [?sink:(Ctx c)] the lexer records the
+    diagnostic in [c] and recovers (skips the offending character, ends
+    the unterminated string/comment, substitutes zero for a malformed
+    number) so one scan reports every lexical error. *)
+val tokenize : ?sink:Diag.sink -> string -> Token.t list

@@ -9,9 +9,14 @@ let dummy =
 
 let span start_pos end_pos = { start_pos; end_pos }
 
+(* Structural, not physical: spans are records that get copied and
+   rebuilt (merges, token slices), so a synthesized span that happens to
+   equal [dummy] must count as dummy even when it is a fresh record. *)
+let is_dummy s = s.start_pos.offset < 0
+
 let merge a b =
-  if a == dummy then b
-  else if b == dummy then a
+  if is_dummy a then b
+  else if is_dummy b then a
   else { start_pos = a.start_pos; end_pos = b.end_pos }
 
 let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col

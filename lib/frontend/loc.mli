@@ -13,6 +13,11 @@ val start_of_file : pos
 (** [dummy] is used for synthesized nodes that have no source location. *)
 val dummy : span
 
+(** Structural test for {!dummy} (negative offset). Use this rather than
+    physical equality: spans are copied and rebuilt freely, so a span
+    equal to [dummy] need not be the same record. *)
+val is_dummy : span -> bool
+
 val span : pos -> pos -> span
 
 (** [merge a b] covers everything from the start of [a] to the end of [b]. *)

@@ -5,7 +5,14 @@ type state = {
   mutable cursor : int;
   mutable in_matrix : bool;  (* inside [ ] at the current nesting level *)
   mutable index_depth : int;  (* inside ( ) of an Apply: 'end' and ':' legal *)
+  sink : Diag.sink;
 }
+
+(* Panic-mode unwinding: raised after a parse error has been recorded in
+   an accumulating sink, caught at the nearest statement (or function)
+   boundary, which resyncs and keeps parsing. Never escapes this module:
+   under the [Raise] sink the report itself raises {!Diag.Error} first. *)
+exception Recover
 
 let peek st = st.tokens.(st.cursor)
 let peek_kind st = (peek st).Token.kind
@@ -26,9 +33,14 @@ let next st =
   advance st;
   t
 
-let error_at st fmt =
-  let t = peek st in
-  Diag.error Parse t.Token.span fmt
+let error_span st span fmt =
+  Format.kasprintf
+    (fun msg ->
+      Diag.report st.sink Diag.Severity.Error Diag.Parse span "%s" msg;
+      raise Recover)
+    fmt
+
+let error_at st fmt = error_span st (peek st).Token.span fmt
 
 let expect st kind =
   let t = peek st in
@@ -305,24 +317,61 @@ let skip_separators st =
   in
   loop ()
 
-let lvalue_of_expr (e : expr) : lvalue =
+let lvalue_of_expr st (e : expr) : lvalue =
   match e.desc with
   | Var base -> { base; indices = []; lspan = e.span }
   | Apply (base, indices) -> { base; indices; lspan = e.span }
   | Num _ | Imag _ | Str _ | Bool _ | Colon | End_marker | Range _ | Unop _
   | Binop _ | Transpose _ | Matrix _ ->
-    Diag.error Parse e.span "this expression cannot be assigned to"
+    error_span st e.span "this expression cannot be assigned to"
 
 let block_terminators =
   [ Token.END; Token.ELSE; Token.ELSEIF; Token.CASE; Token.OTHERWISE;
     Token.EOF ]
+
+(* Tokens that begin a statement: secondary resync targets, left for the
+   caller to retry as a fresh statement. *)
+let stmt_start = function
+  | Token.IF | Token.FOR | Token.WHILE | Token.SWITCH | Token.BREAK
+  | Token.CONTINUE | Token.RETURN ->
+    true
+  | _ -> false
+
+(* Panic-mode resync: skip ahead to a statement boundary. Separators are
+   consumed (the next statement starts after them); block terminators,
+   'function' and statement keywords are left in place. *)
+let sync_stmt st =
+  let rec loop () =
+    match peek_kind st with
+    | Token.SEMI | Token.NEWLINE | Token.COMMA -> advance st
+    | k when List.mem k block_terminators || k = Token.FUNCTION || stmt_start k
+      ->
+      ()
+    | _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
 
 let rec parse_block st =
   let rec loop acc =
     skip_separators st;
     let k = peek_kind st in
     if List.mem k block_terminators || k = Token.FUNCTION then List.rev acc
-    else loop (parse_stmt st :: acc)
+    else begin
+      let start = st.cursor in
+      match parse_stmt st with
+      | s -> loop (s :: acc)
+      | exception Recover ->
+        (* The failed statement may have left bracket state dirty. *)
+        st.in_matrix <- false;
+        st.index_depth <- 0;
+        sync_stmt st;
+        (* Guarantee progress even when the error was at the statement's
+           first token and the resync found an immediate boundary. *)
+        if st.cursor = start then advance st;
+        loop acc
+    end
   in
   loop []
 
@@ -399,11 +448,11 @@ and parse_stmt st =
       let sspan = Loc.merge sp rhs.span in
       match e.desc with
       | Matrix [ row ] ->
-        { sdesc = Multi_assign (List.map lvalue_of_expr row, rhs); sspan }
-      | Var _ | Apply _ -> { sdesc = Assign (lvalue_of_expr e, rhs); sspan }
+        { sdesc = Multi_assign (List.map (lvalue_of_expr st) row, rhs); sspan }
+      | Var _ | Apply _ -> { sdesc = Assign (lvalue_of_expr st e, rhs); sspan }
       | Num _ | Imag _ | Str _ | Bool _ | Colon | End_marker | Range _
       | Unop _ | Binop _ | Transpose _ | Matrix _ ->
-        Diag.error Parse e.span "invalid assignment target"
+        error_span st e.span "invalid assignment target"
     end
     else { sdesc = Expr_stmt e; sspan = Loc.merge sp e.span }
 
@@ -472,28 +521,62 @@ let parse_function st =
   in
   { fname; params; returns; body; fspan = Loc.merge sp end_span }
 
-let make_state src =
-  let tokens = Array.of_list (Lexer.tokenize src) in
-  { tokens; cursor = 0; in_matrix = false; index_depth = 0 }
+(* Resync after a failed function header: skip to the next 'function'
+   keyword (or EOF). *)
+let sync_function st =
+  let rec loop () =
+    match peek_kind st with
+    | Token.FUNCTION | Token.EOF -> ()
+    | _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
 
-let parse_program src =
-  let st = make_state src in
+let make_state ?(sink = Diag.Raise) src =
+  let tokens = Array.of_list (Lexer.tokenize ~sink src) in
+  { tokens; cursor = 0; in_matrix = false; index_depth = 0; sink }
+
+let parse_program ?(sink = Diag.Raise) src =
+  let st = make_state ~sink src in
   skip_separators st;
   if peek_kind st = Token.FUNCTION then begin
     let rec loop acc =
       skip_separators st;
       if peek_kind st = Token.EOF then List.rev acc
-      else if peek_kind st = Token.FUNCTION then loop (parse_function st :: acc)
       else
-        error_at st "expected 'function' or end of file but found %s"
-          (Token.describe (peek_kind st))
+        match
+          if peek_kind st = Token.FUNCTION then parse_function st
+          else
+            error_at st "expected 'function' or end of file but found %s"
+              (Token.describe (peek_kind st))
+        with
+        | f -> loop (f :: acc)
+        | exception Recover ->
+          st.in_matrix <- false;
+          st.index_depth <- 0;
+          sync_function st;
+          loop acc
     in
     { funcs = loop [] }
   end
   else begin
-    let body = parse_block st in
-    if peek_kind st <> Token.EOF then
-      error_at st "unexpected %s at top level" (Token.describe (peek_kind st));
+    let rec top acc =
+      let body = parse_block st in
+      let acc = acc @ body in
+      if peek_kind st = Token.EOF then acc
+      else begin
+        (try
+           error_at st "unexpected %s at top level"
+             (Token.describe (peek_kind st))
+         with Recover -> ());
+        st.in_matrix <- false;
+        st.index_depth <- 0;
+        advance st;
+        top acc
+      end
+    in
+    let body = top [] in
     {
       funcs =
         [ { fname = "__script__"; params = []; returns = []; body;
@@ -501,12 +584,18 @@ let parse_program src =
     }
   end
 
-let parse_expr src =
-  let st = make_state src in
+let parse_expr ?(sink = Diag.Raise) src =
+  let st = make_state ~sink src in
   skip_separators st;
-  let e = parse_expr_prec st in
-  skip_separators st;
-  if peek_kind st <> Token.EOF then
-    error_at st "trailing input after expression: %s"
-      (Token.describe (peek_kind st));
-  e
+  match
+    let e = parse_expr_prec st in
+    skip_separators st;
+    if peek_kind st <> Token.EOF then
+      error_at st "trailing input after expression: %s"
+        (Token.describe (peek_kind st));
+    e
+  with
+  | e -> e
+  | exception Recover ->
+    (* Accumulating mode: the diagnostic is recorded; stand in a zero. *)
+    mk Loc.dummy (Num 0.)

@@ -9,9 +9,17 @@
       (bare statements), which parses to a pseudo-function
       ["__script__"]. *)
 
-(** Parse a whole source file. Raises {!Diag.Error} on syntax errors. *)
-val parse_program : string -> Ast.program
+(** Parse a whole source file.
+
+    With the default [Raise] sink, raises {!Diag.Error} on the first
+    syntax error. With [?sink:(Ctx c)] the parser records the diagnostic
+    and recovers in panic mode — it resyncs on [;], newlines, [end] and
+    statement keywords — so one parse reports every independent syntax
+    error; statements that failed to parse are dropped from the result. *)
+val parse_program : ?sink:Diag.sink -> string -> Ast.program
 
 (** Parse a single expression (used by tests and the REPL-style examples).
-    Raises {!Diag.Error} if the input is not exactly one expression. *)
-val parse_expr : string -> Ast.expr
+    Raises {!Diag.Error} if the input is not exactly one expression
+    (under an accumulating sink, records the diagnostic and returns a
+    placeholder zero literal). *)
+val parse_expr : ?sink:Diag.sink -> string -> Ast.expr

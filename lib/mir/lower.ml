@@ -130,6 +130,7 @@ let zero_of (sty : Mir.scalar_ty) =
   | MT.Real, MT.Int -> iconst 0
   | MT.Real, MT.Bool -> Mir.Oconst (Mir.Cb false)
   | MT.Real, MT.Double -> fconst 0.0
+  | MT.Real, MT.Err -> invalid_arg "Lower.zero_of: poison type reached lowering"
 
 let one_of (sty : Mir.scalar_ty) =
   match (sty.Mir.cplx, sty.Mir.base) with
@@ -137,6 +138,7 @@ let one_of (sty : Mir.scalar_ty) =
   | MT.Real, MT.Int -> iconst 1
   | MT.Real, MT.Bool -> Mir.Oconst (Mir.Cb true)
   | MT.Real, MT.Double -> fconst 1.0
+  | MT.Real, MT.Err -> invalid_arg "Lower.one_of: poison type reached lowering"
 
 (* Does a typed expression reference variable [name]? Used to detect
    read/write overlap in whole-array assignment. *)

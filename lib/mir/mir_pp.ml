@@ -4,6 +4,7 @@ let base_name = function
   | Masc_sema.Mtype.Bool -> "b"
   | Masc_sema.Mtype.Int -> "i"
   | Masc_sema.Mtype.Double -> "f"
+  | Masc_sema.Mtype.Err -> "e"
 
 let pp_scalar_ty ppf (s : scalar_ty) =
   let c = match s.cplx with Masc_sema.Mtype.Complex -> "c" | Masc_sema.Mtype.Real -> "" in

@@ -156,7 +156,7 @@ let infer b span (args : Info.t list) : Info.t list =
       let base =
         match ty.Mtype.base with
         | Mtype.Bool -> Mtype.Int
-        | (Mtype.Int | Mtype.Double) as base -> base
+        | (Mtype.Int | Mtype.Double | Mtype.Err) as base -> base
       in
       [ Info.of_ty { ty with Mtype.base; cplx = Mtype.Real } ]
     | _ ->
@@ -198,7 +198,7 @@ let infer b span (args : Info.t list) : Info.t list =
         | Rsum | Rprod | Rmax | Rmin -> (
           match ty.Mtype.base with
           | Mtype.Bool -> Mtype.Int
-          | (Mtype.Int | Mtype.Double) as base -> base)
+          | (Mtype.Int | Mtype.Double | Mtype.Err) as base -> base)
       in
       [ Info.of_ty { ty with Mtype.base; rows; cols } ]
     | _ ->
@@ -304,7 +304,7 @@ let infer b span (args : Info.t list) : Info.t list =
       let base =
         match (ty_of a).Mtype.base with
         | Mtype.Bool -> Mtype.Int
-        | (Mtype.Int | Mtype.Double) as base -> base
+        | (Mtype.Int | Mtype.Double | Mtype.Err) as base -> base
       in
       [ Info.of_ty { (ty_of a) with Mtype.base } ]
     | _ ->

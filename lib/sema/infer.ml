@@ -95,6 +95,7 @@ type ctx = {
   insts : (int, Tast.instance) Hashtbl.t;
   mutable next_inst : int;
   in_progress : (string, unit) Hashtbl.t;
+  sink : Diag.sink;
 }
 
 (* Per-function elaboration state: accumulates the final declared type of
@@ -104,6 +105,16 @@ type fctx = {
   fname : string;
   mutable decls : Mtype.t Smap.t;
 }
+
+(* Internally the checker raises on each error ([err] above); under an
+   accumulating sink the raise is caught at a recovery point — a binop
+   operand or a statement boundary — recorded, and the failed node is
+   poisoned with {!Mtype.error} so checking continues on its siblings. *)
+let recovering fctx =
+  match fctx.ctx.sink with Diag.Ctx _ -> true | Diag.Raise -> false
+
+let record_recovered fctx phase span msg =
+  Diag.report fctx.ctx.sink Diag.Severity.Error phase span "%s" msg
 
 let record_binding fctx name (ty : Mtype.t) span =
   match Smap.find_opt name fctx.decls with
@@ -148,7 +159,7 @@ let num_info f =
 (* Arithmetic treats bool as int. *)
 let arith_base = function
   | Mtype.Bool -> Mtype.Int
-  | (Mtype.Int | Mtype.Double) as b -> b
+  | (Mtype.Int | Mtype.Double | Mtype.Err) as b -> b
 
 let range_count span ~lo ~step ~hi =
   if step = 0 then err span "range step must be non-zero";
@@ -191,8 +202,8 @@ let rec elab_expr (fctx : fctx) (env : env) ?end_dim (e : Ast.expr) :
     let ia, ta = elab_expr fctx env ?end_dim a in
     elab_unop fctx op ia ta span
   | Ast.Binop (op, a, b) ->
-    let ia, ta = elab_expr fctx env ?end_dim a in
-    let ib, tb = elab_expr fctx env ?end_dim b in
+    let ia, ta = elab_operand fctx env ?end_dim a in
+    let ib, tb = elab_operand fctx env ?end_dim b in
     elab_binop op ia ta ib tb span
   | Ast.Transpose (kind, a) ->
     let ia, ta = elab_expr fctx env ?end_dim a in
@@ -249,9 +260,21 @@ let rec elab_expr (fctx : fctx) (env : env) ?end_dim (e : Ast.expr) :
   | Ast.Matrix rows -> elab_matrix fctx env ?end_dim rows span
   | Ast.Apply (name, args) -> elab_apply fctx env ?end_dim name args span
 
+(* A binop operand: under an accumulating sink a failure is recorded and
+   the operand poisoned, so the sibling operand still gets checked. *)
+and elab_operand fctx env ?end_dim (e : Ast.expr) =
+  match elab_expr fctx env ?end_dim e with
+  | r -> r
+  | exception Diag.Error (phase, span, msg) when recovering fctx ->
+    record_recovered fctx phase span msg;
+    (Info.of_ty Mtype.error, mk Mtype.error (Tast.Tnum 0.) span)
+
 and elab_unop fctx op (ia : Info.t) ta span =
   ignore fctx;
   let ty = ia.Info.ty in
+  if Mtype.is_error ty then
+    (Info.of_ty Mtype.error, mk Mtype.error (Tast.Tunop (op, ta)) span)
+  else
   let rty =
     match op with
     | Ast.Uneg | Ast.Uplus -> { ty with Mtype.base = arith_base ty.Mtype.base }
@@ -267,6 +290,11 @@ and elab_unop fctx op (ia : Info.t) ta span =
 
 and elab_binop op (ia : Info.t) ta (ib : Info.t) tb span =
   let tya = ia.Info.ty and tyb = ib.Info.ty in
+  if Mtype.is_error tya || Mtype.is_error tyb then
+    (* Cascade suppression: one diagnostic per root cause — operations on
+       an already-poisoned operand stay silently poisoned. *)
+    (Info.of_ty Mtype.error, mk Mtype.error (Tast.Tbinop (op, ta, tb)) span)
+  else
   let broadcast_or_err () =
     match Mtype.broadcast tya tyb with
     | Some (rows, cols) -> (rows, cols)
@@ -537,11 +565,34 @@ and elab_block fctx (env : env) (block : Ast.block) : env * Tast.tblock =
   let env, rev_stmts =
     List.fold_left
       (fun (env, acc) stmt ->
-        let env', tstmt = elab_stmt fctx env stmt in
-        (env', tstmt :: acc))
+        match elab_stmt fctx env stmt with
+        | env', tstmt -> (env', tstmt :: acc)
+        | exception Diag.Error (phase, span, msg) when recovering fctx ->
+          record_recovered fctx phase span msg;
+          (* Drop the failed statement, poison what it would have bound so
+             later uses don't cascade, and keep checking the rest. *)
+          (poison_targets fctx env stmt, acc))
       (env, []) block
   in
   (env, List.rev rev_stmts)
+
+and poison_targets fctx env (stmt : Ast.stmt) =
+  let poison env base =
+    (* Bypass [record_binding]'s shape join (the poison type must not
+       trigger a second error), but still declare the variable so the
+       signature construction after the body finds every binding —
+       including poisoned return variables. *)
+    if not (Smap.mem base fctx.decls) then
+      fctx.decls <- Smap.add base Mtype.error fctx.decls;
+    Smap.add base (Info.of_ty Mtype.error) env
+  in
+  match stmt.Ast.sdesc with
+  | Ast.Assign (lv, _) -> poison env lv.Ast.base
+  | Ast.Multi_assign (lvs, _) ->
+    List.fold_left (fun env (lv : Ast.lvalue) -> poison env lv.Ast.base) env lvs
+  | Ast.Expr_stmt _ | Ast.If _ | Ast.For _ | Ast.While _ | Ast.Break
+  | Ast.Continue | Ast.Return ->
+    env
 
 and elab_stmt fctx (env : env) (stmt : Ast.stmt) : env * Tast.tstmt =
   let span = stmt.Ast.sspan in
@@ -558,8 +609,19 @@ and elab_stmt fctx (env : env) (stmt : Ast.stmt) : env * Tast.tstmt =
         "indexed assignment to undefined variable '%s'; preallocate it with \
          zeros(...) first"
         base
+    | Some arr_info when Mtype.is_error arr_info.Info.ty ->
+      (* Poisoned base: the original binding already failed and was
+         reported. Check the RHS for its own mistakes, then keep the
+         poison without cascading. *)
+      let _ = elab_expr fctx env rhs in
+      (env, mk_stmt (Tast.Tassign (base, mk Mtype.error (Tast.Tnum 0.) span)))
     | Some arr_info ->
       let arr_ty = arr_info.Info.ty in
+      if Mtype.is_scalar arr_ty then
+        err lspan
+          "indexed assignment to scalar '%s'; the static-shape subset \
+           requires preallocating arrays with zeros(...)"
+          base;
       let rhs_info, t_rhs = elab_expr fctx env rhs in
       (* Element writes may promote the array (real -> complex, int ->
          double); shapes never change. *)
@@ -865,10 +927,11 @@ and instance_for (ctx : ctx) name (arg_infos : Info.t list) span :
     Hashtbl.remove ctx.in_progress name;
     (idx, rets)
 
-let infer_program (program : Ast.program) ~entry ~arg_types : Tast.program =
+let infer_program ?(sink = Diag.Raise) (program : Ast.program) ~entry
+    ~arg_types : Tast.program =
   let ctx =
     { program; memo = Hashtbl.create 16; insts = Hashtbl.create 16;
-      next_inst = 0; in_progress = Hashtbl.create 4 }
+      next_inst = 0; in_progress = Hashtbl.create 4; sink }
   in
   let arg_infos = List.map Info.of_ty arg_types in
   let entry_idx, _rets = instance_for ctx entry arg_infos Loc.dummy in
@@ -877,5 +940,5 @@ let infer_program (program : Ast.program) ~entry ~arg_types : Tast.program =
   in
   { Tast.instances; entry = entry_idx }
 
-let infer_source src ~entry ~arg_types =
-  infer_program (Parser.parse_program src) ~entry ~arg_types
+let infer_source ?(sink = Diag.Raise) src ~entry ~arg_types =
+  infer_program ~sink (Parser.parse_program ~sink src) ~entry ~arg_types

@@ -14,12 +14,24 @@
     - recursion is not supported;
     - [if]/[while] conditions must be scalar. *)
 
+(** With the default [Raise] sink, raises {!Masc_frontend.Diag.Error} on
+    the first semantic error. With [?sink:(Ctx c)] errors are recorded in
+    [c] and the checker recovers: the failed expression or statement is
+    poisoned with {!Mtype.error} and its siblings keep getting checked.
+    A program whose context recorded errors must not be lowered — the
+    typed AST may contain poison types. *)
 val infer_program :
+  ?sink:Masc_frontend.Diag.sink ->
   Masc_frontend.Ast.program ->
   entry:string ->
   arg_types:Mtype.t list ->
   Tast.program
 
-(** [infer_source src ~entry ~arg_types] parses then infers. *)
+(** [infer_source src ~entry ~arg_types] parses then infers (the sink is
+    shared by both phases). *)
 val infer_source :
-  string -> entry:string -> arg_types:Mtype.t list -> Tast.program
+  ?sink:Masc_frontend.Diag.sink ->
+  string ->
+  entry:string ->
+  arg_types:Mtype.t list ->
+  Tast.program

@@ -1,4 +1,8 @@
-type base = Bool | Int | Double
+(* [Err] is the poison type: semantic analysis assigns it to expressions
+   it could not type under an accumulating sink, so it can keep checking
+   siblings. It absorbs in every promotion and never survives into MIR —
+   the driver refuses to lower a program whose context recorded errors. *)
+type base = Bool | Int | Double | Err
 type cplx = Real | Complex
 type t = { base : base; cplx : cplx; rows : int; cols : int }
 
@@ -7,6 +11,8 @@ let double = scalar Double
 let int_ = scalar Int
 let bool_ = scalar Bool
 let complex = scalar ~cplx:Complex Double
+let error = scalar Err
+let is_error t = t.base = Err
 let row_vector ?(cplx = Real) base n = { base; cplx; rows = 1; cols = n }
 let col_vector ?(cplx = Real) base n = { base; cplx; rows = n; cols = 1 }
 let matrix ?(cplx = Real) base rows cols = { base; cplx; rows; cols }
@@ -17,6 +23,7 @@ let numel t = t.rows * t.cols
 
 let promote_base a b =
   match (a, b) with
+  | Err, _ | _, Err -> Err
   | Double, _ | _, Double -> Double
   | Int, _ | _, Int -> Int
   | Bool, Bool -> Bool
@@ -45,7 +52,11 @@ let broadcast a b =
 
 let with_shape t rows cols = { t with rows; cols }
 
-let base_name = function Bool -> "bool" | Int -> "int" | Double -> "double"
+let base_name = function
+  | Bool -> "bool"
+  | Int -> "int"
+  | Double -> "double"
+  | Err -> "<error>"
 
 let to_string t =
   let b = base_name t.base in

@@ -10,6 +10,10 @@ type base =
   | Bool
   | Int  (** integer-valued doubles used for indices, sizes, counters *)
   | Double
+  | Err
+      (** poison: the type of an expression that failed semantic analysis
+          under an accumulating sink. Absorbs in every promotion so
+          cascades stay silent; never reaches MIR. *)
 
 type cplx = Real | Complex
 
@@ -30,6 +34,11 @@ val bool_ : t
 
 (** [complex] is the complex double scalar type. *)
 val complex : t
+
+(** [error] is the scalar poison type. *)
+val error : t
+
+val is_error : t -> bool
 
 (** [row_vector base n] is 1 x n. *)
 val row_vector : ?cplx:cplx -> base -> int -> t

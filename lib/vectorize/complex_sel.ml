@@ -1,6 +1,8 @@
 module Mir = Masc_mir.Mir
 module Isa = Masc_asip.Isa
 module MT = Masc_sema.Mtype
+module Diag = Masc_frontend.Diag
+module Loc = Masc_frontend.Loc
 
 type stats = { cmul : int; cmac : int; cadd : int }
 
@@ -8,11 +10,33 @@ let is_complex (op : Mir.operand) =
   match Mir.operand_ty op with
   | Mir.Tscalar s | Mir.Tarray (s, _) -> s.Mir.cplx = MT.Complex
 
-let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
+let run ?(sink = Diag.Raise) (isa : Isa.t) (func : Mir.func) :
+    Mir.func * stats =
   let cmul_i = Isa.find isa Isa.Kcmul in
   let cmac_i = Isa.find isa Isa.Kcmac in
   let cadd_i = Isa.find isa Isa.Kcadd in
   let stats = ref { cmul = 0; cmac = 0; cadd = 0 } in
+  (* Degradation-ladder notes: the target has partial complex-ISE
+     support, so operations its missing instructions would have covered
+     stay open-coded. One summarizing note per kind, carrying the cycle
+     delta of the FPU fallback over a unit-latency intrinsic. *)
+  let open_muls = ref 0 in
+  let open_adds = ref 0 in
+  let note_open_coded () =
+    let alu = isa.Isa.costs.Isa.alu in
+    if !open_muls > 0 then
+      Diag.report sink Diag.Severity.Note Diag.Vectorize Loc.dummy
+        "%s: %d complex multiply(s) open-coded: target '%s' lacks cplx.mul \
+         (~%d extra cycles each)"
+        func.Mir.name !open_muls isa.Isa.tname
+        ((6 * alu) - 1);
+    if !open_adds > 0 then
+      Diag.report sink Diag.Severity.Note Diag.Vectorize Loc.dummy
+        "%s: %d complex add(s) open-coded: target '%s' lacks cplx.add \
+         (~%d extra cycles each)"
+        func.Mir.name !open_adds isa.Isa.tname
+        ((2 * alu) - 1)
+  in
   match (cmul_i, cmac_i, cadd_i) with
   | None, None, None -> (func, !stats)
   | _ ->
@@ -24,13 +48,17 @@ let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
         | Some d ->
           stats := { !stats with cmul = !stats.cmul + 1 };
           Mir.Rintrin (d.Isa.iname, [ a; b ])
-        | None -> rv)
+        | None ->
+          incr open_muls;
+          rv)
       | Mir.Rbin (Mir.Badd, a, b) when is_complex a || is_complex b -> (
         match cadd_i with
         | Some d ->
           stats := { !stats with cadd = !stats.cadd + 1 };
           Mir.Rintrin (d.Isa.iname, [ a; b ])
-        | None -> rv)
+        | None ->
+          incr open_adds;
+          rv)
       | _ -> rv
     in
     let func = Masc_opt.Rewrite.map_rvalues select func in
@@ -87,4 +115,5 @@ let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
         Masc_opt.Rewrite.map_blocks fuse func
       | _ -> func
     in
+    note_open_coded ();
     (func, !stats)

@@ -13,8 +13,17 @@
                                     → [acc = cmac(acc, a, b)]
 
     Selection only fires for instructions present in the ISA
-    description. *)
+    description. Degradation ladder: on a target with partial
+    complex-ISE support, operations a missing instruction would have
+    covered stay open-coded on the FPU, and with an accumulating
+    [?sink] a [Note] diagnostic summarizes the count and the estimated
+    per-operation cycle delta (dropped under the default [Raise]
+    sink). *)
 
 type stats = { cmul : int; cmac : int; cadd : int }
 
-val run : Masc_asip.Isa.t -> Masc_mir.Mir.func -> Masc_mir.Mir.func * stats
+val run :
+  ?sink:Masc_frontend.Diag.sink ->
+  Masc_asip.Isa.t ->
+  Masc_mir.Mir.func ->
+  Masc_mir.Mir.func * stats

@@ -2,6 +2,8 @@ module Mir = Masc_mir.Mir
 module Affine = Masc_mir.Affine
 module Isa = Masc_asip.Isa
 module MT = Masc_sema.Mtype
+module Diag = Masc_frontend.Diag
+module Loc = Masc_frontend.Loc
 
 type stats = { map_loops : int; reduction_loops : int }
 
@@ -10,10 +12,15 @@ exception Bail
 type ctx = {
   isa : Isa.t;
   width : int;
+  sink : Diag.sink;
+  fname : string;
   mutable next_id : int;
   mutable new_vars : Mir.var list;
   mutable maps : int;
   mutable reds : int;
+  mutable missing : Isa.kind option;
+      (* first intrinsic lookup that failed while analyzing the current
+         loop: the idiom was recognized but the ISA cannot express it *)
   func_uses : (int, int) Hashtbl.t;  (* whole-function use counts *)
 }
 
@@ -50,7 +57,35 @@ let simd_kind_of_binop = function
 let instr_for ctx kind =
   match Isa.find ctx.isa kind with
   | Some d when d.Isa.lanes = ctx.width -> d
-  | Some _ | None -> raise Bail
+  | Some _ | None ->
+    if ctx.missing = None then ctx.missing <- Some kind;
+    raise Bail
+
+(* Scalar per-element cost of the operation a missing SIMD instruction
+   would have covered — the basis for the degradation note's cycle
+   delta. *)
+let scalar_cost_of_kind (c : Isa.costs) = function
+  | Isa.Ksimd_div -> c.Isa.fdiv
+  | Isa.Kload -> c.Isa.load
+  | Isa.Kstore -> c.Isa.store
+  | Isa.Ksimd_add | Isa.Ksimd_sub | Isa.Ksimd_mul | Isa.Ksimd_min
+  | Isa.Ksimd_max | Isa.Kmac | Isa.Kbroadcast | Isa.Kreduce_add
+  | Isa.Kreduce_min | Isa.Kreduce_max | Isa.Kcmul | Isa.Kcmac | Isa.Kcadd ->
+    c.Isa.alu
+
+(* Degradation-ladder note: the loop matched a vectorizable idiom but
+   the target lacks the instruction, so the scalar loop nest ships.
+   The cycle delta assumes a unit-latency custom instruction would have
+   replaced [width] scalar operations per chunk. *)
+let note_missing ctx kind =
+  let delta =
+    (ctx.width * scalar_cost_of_kind ctx.isa.Isa.costs kind) - 1
+  in
+  Diag.report ctx.sink Diag.Severity.Note Diag.Vectorize Loc.dummy
+    "%s: loop kept scalar: target '%s' lacks %s at %d lanes (~%d extra \
+     cycle(s) per %d elements)"
+    ctx.fname ctx.isa.Isa.tname (Isa.kind_to_string kind) ctx.width delta
+    ctx.width
 
 (* Uses of variables within a block (including nested). *)
 let block_uses (b : Mir.block) : (int, int) Hashtbl.t =
@@ -474,12 +509,17 @@ let rec process_block ctx (b : Mir.block) : Mir.block =
       | Mir.Iloop l ->
         let l = { l with Mir.body = process_block ctx l.Mir.body } in
         if vectorizable_header l then begin
+          ctx.missing <- None;
           match try_map_loop ctx l with
           | Some instrs -> instrs
           | None -> (
             match try_reduction_loop ctx l with
             | Some instrs -> instrs
-            | None -> [ Mir.Iloop l ])
+            | None ->
+              (match ctx.missing with
+              | Some kind -> note_missing ctx kind
+              | None -> ());
+              [ Mir.Iloop l ])
         end
         else [ Mir.Iloop l ]
       | Mir.Iif (c, t, e) ->
@@ -494,7 +534,8 @@ let rec process_block ctx (b : Mir.block) : Mir.block =
         [ i ])
     b
 
-let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
+let run ?(sink = Diag.Raise) (isa : Isa.t) (func : Mir.func) :
+    Mir.func * stats =
   if isa.Isa.vector_width < 2 then
     (func, { map_loops = 0; reduction_loops = 0 })
   else begin
@@ -502,9 +543,9 @@ let run (isa : Isa.t) (func : Mir.func) : Mir.func * stats =
       List.fold_left (fun m (v : Mir.var) -> max m v.Mir.vid) 0 func.Mir.vars
     in
     let ctx =
-      { isa; width = isa.Isa.vector_width; next_id = max_id + 1;
-        new_vars = []; maps = 0; reds = 0;
-        func_uses = Masc_opt.Rewrite.use_counts func }
+      { isa; width = isa.Isa.vector_width; sink; fname = func.Mir.name;
+        next_id = max_id + 1; new_vars = []; maps = 0; reds = 0;
+        missing = None; func_uses = Masc_opt.Rewrite.use_counts func }
     in
     let body = process_block ctx func.Mir.body in
     ( { func with Mir.body; vars = func.Mir.vars @ List.rev ctx.new_vars },

@@ -19,11 +19,22 @@
     reassociation in reductions is accepted, as in any [-ffast-math]
     vectorizer (and as the paper's ASIP MAC hardware implies).
 
-    Trip counts may be dynamic: chunk counts are computed at run time. *)
+    Trip counts may be dynamic: chunk counts are computed at run time.
+
+    Degradation ladder: a loop that matches a vectorizable idiom but
+    needs an instruction the target lacks is kept scalar, and with an
+    accumulating [?sink] a [Note] diagnostic records the missing
+    instruction kind and the estimated cycle delta. Failure to
+    vectorize never aborts a compile. *)
 
 type stats = { map_loops : int; reduction_loops : int }
 
 (** [run isa func] returns the rewritten function and how many loops of
     each shape were vectorized. With [isa.vector_width < 2] the function
-    is returned unchanged. *)
-val run : Masc_asip.Isa.t -> Masc_mir.Mir.func -> Masc_mir.Mir.func * stats
+    is returned unchanged. With the default [Raise] sink the
+    missing-instruction notes are dropped. *)
+val run :
+  ?sink:Masc_frontend.Diag.sink ->
+  Masc_asip.Isa.t ->
+  Masc_mir.Mir.func ->
+  Masc_mir.Mir.func * stats

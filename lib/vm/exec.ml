@@ -22,7 +22,72 @@ exception Break_exc
 exception Continue_exc
 exception Return_exc
 
+(* ---------------- guardrail traps ----------------
+
+   Structured, bounded failure instead of hangs or raw exceptions: the
+   fuel budget bounds dynamic instructions (so an unbounded [while]
+   terminates), the cycle limit bounds modeled time, and the allocation
+   cap bounds the static array footprint. Both back ends charge
+   identically (pinned by the differential test), so a trap fires at the
+   same execution point in either. *)
+
+type trap_kind =
+  | Fuel_exhausted of { fuel : int }
+  | Cycle_limit of { max_cycles : int }
+  | Alloc_limit of { requested_bytes : int; cap_bytes : int }
+
+exception Trap of { kind : trap_kind; loc : string; steps_executed : int }
+
+let default_fuel = 1_000_000_000
+let default_max_alloc_bytes = 268_435_456 (* 256 MiB *)
+
+let trap_message ~kind ~loc ~steps_executed =
+  match kind with
+  | Fuel_exhausted { fuel } ->
+    Printf.sprintf
+      "%s: fuel exhausted after %d steps (budget %d); possible runaway loop"
+      loc steps_executed fuel
+  | Cycle_limit { max_cycles } ->
+    Printf.sprintf
+      "%s: cycle budget exceeded (%d) after %d steps; possible runaway loop"
+      loc max_cycles steps_executed
+  | Alloc_limit { requested_bytes; cap_bytes } ->
+    Printf.sprintf
+      "%s: array allocation of %d bytes exceeds the %d-byte cap" loc
+      requested_bytes cap_bytes
+
 let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Static array footprint of a function, in bytes, using the C layout
+   the simulator banks model (complex 16, double/int 8, bool 1).
+   Deduplicated by vid: params and returns also appear in [vars]. *)
+let array_bytes_of_func (f : Mir.func) =
+  let elem_bytes (sty : Mir.scalar_ty) =
+    if sty.Mir.cplx = Masc_sema.Mtype.Complex then 16
+    else
+      match sty.Mir.base with
+      | Masc_sema.Mtype.Double | Masc_sema.Mtype.Int | Masc_sema.Mtype.Err -> 8
+      | Masc_sema.Mtype.Bool -> 1
+  in
+  let seen = Hashtbl.create 32 in
+  List.fold_left
+    (fun acc (v : Mir.var) ->
+      if Hashtbl.mem seen v.Mir.vid then acc
+      else begin
+        Hashtbl.add seen v.Mir.vid ();
+        match v.Mir.vty with
+        | Mir.Tscalar _ -> acc
+        | Mir.Tarray (sty, n) -> acc + (n * elem_bytes sty)
+      end)
+    0
+    (f.Mir.params @ f.Mir.rets @ f.Mir.vars)
+
+let check_alloc ~loc ~cap_bytes bytes =
+  if bytes > cap_bytes then
+    raise
+      (Trap
+         { kind = Alloc_limit { requested_bytes = bytes; cap_bytes }; loc;
+           steps_executed = 0 })
 
 let scalar_of_value = function
   | Value.Scalar s -> s

@@ -25,6 +25,36 @@ exception Break_exc
 exception Continue_exc
 exception Return_exc
 
+(** Guardrail trap kinds: the fuel budget bounds dynamic instructions,
+    the cycle limit bounds modeled time, the allocation cap bounds the
+    static array footprint. *)
+type trap_kind =
+  | Fuel_exhausted of { fuel : int }
+  | Cycle_limit of { max_cycles : int }
+  | Alloc_limit of { requested_bytes : int; cap_bytes : int }
+
+(** Structured guardrail failure. [loc] is the simulated function's
+    name; [steps_executed] the dynamic instruction count at the trap.
+    Fires at the same execution point in both simulator back ends. *)
+exception Trap of { kind : trap_kind; loc : string; steps_executed : int }
+
+val default_fuel : int
+(** 1e9 dynamic instructions. *)
+
+val default_max_alloc_bytes : int
+(** 256 MiB of simulated array storage. *)
+
+(** Human-readable rendering of a trap. *)
+val trap_message : kind:trap_kind -> loc:string -> steps_executed:int -> string
+
+(** Static array footprint of a function in bytes (complex 16,
+    double/int 8, bool 1 per element), deduplicated by variable id. *)
+val array_bytes_of_func : Masc_mir.Mir.func -> int
+
+(** [check_alloc ~loc ~cap_bytes bytes] raises {!Trap} with
+    [Alloc_limit] if [bytes > cap_bytes]. *)
+val check_alloc : loc:string -> cap_bytes:int -> int -> unit
+
 (** [fail fmt ...] raises {!Runtime_error} with a formatted message. *)
 val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 

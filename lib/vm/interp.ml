@@ -30,8 +30,10 @@ let render_format = Exec.render_format
 (* use Masc.Compiler, which caches it per compilation).                *)
 (* ------------------------------------------------------------------ *)
 
-let run ?max_cycles ~isa ~mode (f : Mir.func) (args : xvalue list) : result =
-  Plan.execute ?max_cycles (Plan.compile ~isa ~mode f) args
+let run ?max_cycles ?fuel ?max_alloc_bytes ~isa ~mode (f : Mir.func)
+    (args : xvalue list) : result =
+  Plan.execute ?max_cycles ?fuel ?max_alloc_bytes (Plan.compile ~isa ~mode f)
+    args
 
 (* ------------------------------------------------------------------ *)
 (* The legacy tree-walking interpreter, kept as the executable         *)
@@ -49,6 +51,8 @@ type state = {
   mutable cycles : int;
   mutable dyn : int;
   max_cycles : int;
+  fuel : int;
+  floc : string;  (* simulated function name, for trap reports *)
   hist : (string, int) Hashtbl.t;
   out : Buffer.t;
 }
@@ -59,8 +63,16 @@ let charge st cls cycles =
   (match Hashtbl.find_opt st.hist cls with
   | Some c -> Hashtbl.replace st.hist cls (c + cycles)
   | None -> Hashtbl.replace st.hist cls cycles);
+  if st.dyn > st.fuel then
+    raise
+      (Exec.Trap
+         { kind = Exec.Fuel_exhausted { fuel = st.fuel }; loc = st.floc;
+           steps_executed = st.dyn });
   if st.cycles > st.max_cycles then
-    fail "cycle budget exceeded (%d); possible runaway loop" st.max_cycles
+    raise
+      (Exec.Trap
+         { kind = Exec.Cycle_limit { max_cycles = st.max_cycles };
+           loc = st.floc; steps_executed = st.dyn })
 
 let cell st (v : Mir.var) =
   match Hashtbl.find_opt st.cells v.Mir.vid with
@@ -320,14 +332,18 @@ and exec_instr st (instr : Mir.instr) =
     if String.length text >= 6 && String.sub text 0 6 = "inline" then
       charge st "call" (Cost.call_boundary_cost st.isa st.mode)
 
-let run_tree ?(max_cycles = 4_000_000_000) ~isa ~mode (f : Mir.func)
-    (args : xvalue list) : result =
+let run_tree ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
+    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) ~isa ~mode
+    (f : Mir.func) (args : xvalue list) : result =
   if List.length args <> List.length f.Mir.params then
     fail "%s expects %d arguments, received %d" f.Mir.name
       (List.length f.Mir.params) (List.length args);
+  Exec.check_alloc ~loc:f.Mir.name ~cap_bytes:max_alloc_bytes
+    (Exec.array_bytes_of_func f);
   let st =
     { isa; mode; cells = Hashtbl.create 64; cycles = 0; dyn = 0; max_cycles;
-      hist = Hashtbl.create 16; out = Buffer.create 256 }
+      fuel; floc = f.Mir.name; hist = Hashtbl.create 16;
+      out = Buffer.create 256 }
   in
   List.iter2
     (fun (p : Mir.var) arg ->

@@ -32,13 +32,17 @@ exception Runtime_error of string
 (** [run ~isa ~mode f args] executes [f]. [args] bind to parameters by
     position; array arguments are copied in. Raises {!Runtime_error} on
     dynamic failures (index out of bounds, division by zero in index
-    arithmetic, cycle budget exceeded).
+    arithmetic, type misuse) and {!Exec.Trap} when a guardrail fires
+    ([?fuel] dynamic instructions, [?max_cycles] modeled cycles,
+    [?max_alloc_bytes] of simulated array storage).
 
     Builds a fresh {!Plan} per call; callers that simulate the same
     function repeatedly should compile the plan once ({!Plan.compile} or
     [Masc.Compiler.run], which caches it). *)
 val run :
   ?max_cycles:int ->
+  ?fuel:int ->
+  ?max_alloc_bytes:int ->
   isa:Masc_asip.Isa.t ->
   mode:Masc_asip.Cost_model.mode ->
   Masc_mir.Mir.func ->
@@ -49,6 +53,8 @@ val run :
     contract as {!run}, several times slower. *)
 val run_tree :
   ?max_cycles:int ->
+  ?fuel:int ->
+  ?max_alloc_bytes:int ->
   isa:Masc_asip.Isa.t ->
   mode:Masc_asip.Cost_model.mode ->
   Masc_mir.Mir.func ->

@@ -60,6 +60,8 @@ type state = {
   mutable cycles : int;
   mutable dyn : int;
   max_cycles : int;
+  fuel : int;
+  floc : string;  (* simulated function name, for trap reports *)
   hist : int array;  (* cycles charged, by interned class id *)
   seen : bool array;  (* class id charged at least once *)
   mutable order : int list;  (* class ids, reverse first-charge order *)
@@ -74,8 +76,16 @@ let charge st cls cycles =
     st.order <- cls :: st.order
   end;
   Array.unsafe_set st.hist cls (Array.unsafe_get st.hist cls + cycles);
+  if st.dyn > st.fuel then
+    raise
+      (Exec.Trap
+         { kind = Exec.Fuel_exhausted { fuel = st.fuel }; loc = st.floc;
+           steps_executed = st.dyn });
   if st.cycles > st.max_cycles then
-    fail "cycle budget exceeded (%d); possible runaway loop" st.max_cycles
+    raise
+      (Exec.Trap
+         { kind = Exec.Cycle_limit { max_cycles = st.max_cycles };
+           loc = st.floc; steps_executed = st.dyn })
 
 (* ---------------- slots and plan-time environment ---------------- *)
 
@@ -1067,6 +1077,8 @@ let coerce_fast (sty : Mir.scalar_ty) : Value.t -> Value.t =
     function Value.Scalar (V.Si _) as v -> v | v -> coerce_value sty v)
   | MT.Real, MT.Bool -> (
     function Value.Scalar (V.Sb _) as v -> v | v -> coerce_value sty v)
+  | MT.Real, MT.Err ->
+    fun _ -> invalid_arg "Plan: poison type reached the VM"
 
 (* Generic (coercing) write into a vector register: unbox into the lane
    buffer when the coerced value is a full-width vector, otherwise park
@@ -2100,6 +2112,7 @@ type t = {
   bspecs : aspec array;
   cspecs : aspec array;
   classes : string array;  (* interned class id -> name *)
+  abytes : int;  (* static array footprint, for the allocation cap *)
   body_fn : state -> unit;
 }
 
@@ -2330,6 +2343,8 @@ let compile ~isa ~mode (f : Mir.func) : t =
             let i = !nba in
             incr nba;
             (AKb, i)
+          | MT.Real, MT.Err ->
+            invalid_arg "Plan: poison type reached the VM"
         in
         Hashtbl.add slots v.Mir.vid (Sarr { bank; aidx = idx; alen = n }))
     vars;
@@ -2369,13 +2384,16 @@ let compile ~isa ~mode (f : Mir.func) : t =
     bspecs = Array.of_list (List.rev !bsp);
     cspecs = Array.of_list (List.rev !csp);
     classes = Array.of_list (List.rev env.cls_rev);
+    abytes = Exec.array_bytes_of_func f;
     body_fn }
 
-let execute ?(max_cycles = 4_000_000_000) (p : t) (args : xvalue list) : result
-    =
+let execute ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
+    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) (p : t)
+    (args : xvalue list) : result =
   if List.length args <> p.nparams then
     fail "%s expects %d arguments, received %d" p.fname p.nparams
       (List.length args);
+  Exec.check_alloc ~loc:p.fname ~cap_bytes:max_alloc_bytes p.abytes;
   let ncls = Array.length p.classes in
   (* Fresh typed state. Unwritten registers read as the zero of their
      declared type, like the tree-walker's lazily-created cells;
@@ -2407,6 +2425,8 @@ let execute ?(max_cycles = 4_000_000_000) (p : t) (args : xvalue list) : result
       cycles = 0;
       dyn = 0;
       max_cycles;
+      fuel;
+      floc = p.fname;
       hist = Array.make ncls 0;
       seen = Array.make ncls false;
       order = [];

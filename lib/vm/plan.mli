@@ -33,5 +33,8 @@ val compile :
   t
 
 (** [execute p args] runs the plan on fresh state. Argument binding,
-    defaults and failure modes match {!Interp.run} exactly. *)
-val execute : ?max_cycles:int -> t -> Exec.xvalue list -> Exec.result
+    defaults and failure modes match {!Interp.run} exactly, including
+    the {!Exec.Trap} guardrails (fuel, cycle limit, allocation cap). *)
+val execute :
+  ?max_cycles:int -> ?fuel:int -> ?max_alloc_bytes:int -> t ->
+  Exec.xvalue list -> Exec.result

@@ -40,6 +40,7 @@ let coerce (sty : Mir.scalar_ty) (s : scalar) =
     | Sb b -> Si (if b then 1 else 0)
     | Sc _ -> invalid_arg "Value.coerce: complex into int")
   | MT.Real, MT.Bool -> Sb (to_bool s)
+  | MT.Real, MT.Err -> invalid_arg "Value.coerce: poison type reached the VM"
 
 let is_complex = function Sc _ -> true | Sf _ | Si _ | Sb _ -> false
 let is_int_like = function Si _ | Sb _ -> true | Sf _ | Sc _ -> false

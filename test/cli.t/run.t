@@ -47,19 +47,65 @@ The coder baseline is slower on the same input:
   $ mascc run fir_filter.m --args "double:1x64,double:1x8" --coder | grep 'cycles:'
   cycles: 8157  (mode: coder-baseline, target: dsp8)
 
-Retargeting via a user .isa description changes the intrinsics:
+Retargeting via a user .isa description changes the intrinsics; the
+degradation ladder leaves a note where the small target cannot express
+a recognized idiom:
 
   $ mascc compile fir_filter.m --args "double:1x64,double:1x8" --isa tiny.isa -o fir_tiny.c > /dev/null
+  fir_filter.m: note: vectorization: fir_filter: loop kept scalar: target 'tiny2' lacks simd.reduce_add at 2 lanes (~1 extra cycle(s) per 2 elements)
   $ grep -c 't_st(' fir_tiny.c
   1
   $ grep -c 'masc_v2f64' fir_tiny.c
   1
 
-Bad input produces a located diagnostic:
+Bad input produces a located diagnostic with a caret snippet:
 
   $ echo 'function y = f(x)
   > y = undefined_name + 1;
   > end' > bad.m
   $ mascc compile bad.m --entry f --args "double"
-  error: semantic analysis: line 2, columns 5-19: undefined variable 'undefined_name'
+  bad.m: error: semantic analysis: line 2, columns 5-19: undefined variable 'undefined_name'
+     2 | y = undefined_name + 1;
+       |     ^^^^^^^^^^^^^^
   [1]
+
+A file with several independent mistakes reports all of them in one
+invocation (panic-mode recovery + type poisoning):
+
+  $ echo 'function y = f(x)
+  > a = undefined_one + 1;
+  > b = 3 *;
+  > c = undefined_two - 2;
+  > y = x + 1;
+  > end' > multi.m
+  $ mascc compile multi.m --entry f --args "double" 2>&1 >/dev/null | grep -c 'error:'
+  3
+  $ mascc compile multi.m --entry f --args "double" >/dev/null 2>&1; echo "exit=$?"
+  exit=1
+
+Machine-readable diagnostics, one stable JSON object per line:
+
+  $ mascc compile multi.m --entry f --args "double" --diag-format json
+  {"severity":"error","phase":"parsing","line":3,"col":8,"end_line":3,"end_col":9,"message":"expected an expression but found ';'"}
+  {"severity":"error","phase":"semantic analysis","line":2,"col":5,"end_line":2,"end_col":18,"message":"undefined variable 'undefined_one'"}
+  {"severity":"error","phase":"semantic analysis","line":4,"col":5,"end_line":4,"end_col":18,"message":"undefined variable 'undefined_two'"}
+  [1]
+
+An unbounded loop terminates with a structured fuel trap instead of
+hanging:
+
+  $ echo 'function y = spin(x)
+  > y = x;
+  > while 1 > 0
+  >   y = y + 1;
+  > end
+  > end' > spin.m
+  $ mascc run spin.m --args "double" --fuel 10000
+  spin.m: error: simulation: spin: fuel exhausted after 10001 steps (budget 10000); possible runaway loop
+  [1]
+
+Usage mistakes exit with code 2, distinct from source diagnostics:
+
+  $ mascc compile bad.m --entry f --args "quux"
+  mascc: unknown base type 'quux' (use double, complex, int, bool)
+  [2]

@@ -131,11 +131,24 @@ let test_cycle_budget () =
               cond = Mir.Ovar cond;
               body = [ Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar y, Mir.Oconst (Mir.Cf 1.0))) ] } ] }
   in
-  match I.run ~max_cycles:10_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
-  | exception I.Runtime_error msg ->
-    Alcotest.(check bool) "mentions budget" true
-      (String.length msg > 0)
-  | _ -> Alcotest.fail "expected cycle-budget error"
+  (match I.run ~max_cycles:10_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
+  | exception Masc_vm.Exec.Trap { kind = Masc_vm.Exec.Cycle_limit { max_cycles }; loc; steps_executed } ->
+    Alcotest.(check int) "budget in trap" 10_000 max_cycles;
+    Alcotest.(check string) "trap location" "spin" loc;
+    Alcotest.(check bool) "made progress" true (steps_executed > 0)
+  | _ -> Alcotest.fail "expected a cycle-limit trap");
+  (* The fuel budget bounds dynamic instructions even when the cycle
+     budget is generous: the unbounded loop terminates with a trap. *)
+  (match I.run ~fuel:5_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
+  | exception Masc_vm.Exec.Trap { kind = Masc_vm.Exec.Fuel_exhausted { fuel }; steps_executed; _ } ->
+    Alcotest.(check int) "fuel in trap" 5_000 fuel;
+    Alcotest.(check bool) "steps past budget" true (steps_executed > 5_000)
+  | _ -> Alcotest.fail "expected a fuel trap");
+  (* Both back ends trap at the same step. *)
+  (match I.run_tree ~fuel:5_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
+  | exception Masc_vm.Exec.Trap { kind = Masc_vm.Exec.Fuel_exhausted _; steps_executed; _ } ->
+    Alcotest.(check int) "tree-walker traps at the same step" 5_001 steps_executed
+  | _ -> Alcotest.fail "expected a fuel trap from the tree-walker")
 
 let test_histogram () =
   let src = "function y = f(a)\ny = 0;\nfor i = 1:32\ny = y + a(i) * a(i);\nend\nend" in
