@@ -403,7 +403,7 @@ let json () =
   let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null" in
   let sep xs f = List.iteri (fun i x -> (if i > 0 then add ","); f x) xs in
   add "{\n";
-  add "  \"schema_version\": 3,\n";
+  add "  \"schema_version\": 4,\n";
   add "  \"generator\": \"bench/main.exe json\",\n";
   add "  \"jobs\": %d,\n" !jobs;
   add "  \"host_cores\": %d,\n" (Masc.Parallel.default_jobs ());
@@ -428,8 +428,53 @@ let json () =
         (match est with Some e -> jfloat e | None -> "null");
       add " \"minor_words_per_run\": %s}"
         (match words with Some w -> jfloat w | None -> "null"));
-  add "\n  ]\n}\n";
+  add "\n  ],\n";
+  (* Process-wide telemetry counters accumulated while producing the
+     numbers above (pass runs/skips, compile-cache traffic, simulator
+     activity) — same registry and format as `mascc --metrics`. *)
+  Masc_obs.Metrics.set "gc.minor_words" (Gc.minor_words ());
+  add "  \"metrics\": %s\n}\n" (Masc_obs.Metrics.dump_json ());
   print_string (Buffer.contents buf)
+
+(* ---------------- overhead: profiler cost measurement ---------------- *)
+
+(* Times the production plan against a profiled plan built from the same
+   compilation — the measured cost of `mascc --profile`, recorded in
+   EXPERIMENTS.md. Telemetry-*off* overhead is not measured here because
+   it is structurally zero: profiling closures are only compiled into a
+   plan built with [~profile:true], and BENCH_5 vs BENCH_4 pins the
+   unprofiled cycle tables bit-identical. *)
+let overhead () =
+  header "profiler overhead: production plan vs profiled plan (wall clock)";
+  Printf.printf "%-12s %12s %12s %9s\n" "case" "plan ns" "profiled ns"
+    "overhead";
+  let time_runs f =
+    for _ = 1 to 3 do f () done;
+    let reps = 30 in
+    let t0 = Monotonic_clock.now () in
+    for _ = 1 to reps do f () done;
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)
+    /. float_of_int reps
+  in
+  List.iter
+    (fun (name, (k : K.kernel)) ->
+      let compiled = compile (C.proposed ()) k in
+      let inputs = k.K.inputs () in
+      let isa = compiled.C.config.C.isa
+      and mode = compiled.C.config.C.mode in
+      let plan = Masc_vm.Plan.compile ~isa ~mode compiled.C.mir in
+      let prof_plan =
+        Masc_vm.Plan.compile ~profile:true ~isa ~mode compiled.C.mir
+      in
+      let t_plan = time_runs (fun () ->
+          ignore (Masc_vm.Plan.execute plan inputs))
+      and t_prof = time_runs (fun () ->
+          let col = Masc_obs.Profile.create () in
+          ignore (Masc_vm.Plan.execute ~profile:col prof_plan inputs))
+      in
+      Printf.printf "%-12s %12.0f %12.0f %8.2fx\n" name t_plan t_prof
+        (t_prof /. t_plan))
+    [ ("fir1024", K.fir ~n:1024 ~m:32 ()); ("fft1024", K.fft ~n:1024 ()) ]
 
 (* ---------------- smoke: reduced-set CI gate ---------------- *)
 
@@ -487,6 +532,7 @@ let () =
   match cmd with
   | "json" -> json ()
   | "smoke" -> smoke ()
+  | "overhead" -> overhead ()
   | "tables" ->
     table1 ();
     ignore (table2 ());

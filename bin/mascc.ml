@@ -9,6 +9,12 @@
    Argument-type specifications follow MATLAB Coder's -args idea in a
    compact syntax: "double:1x1024,double:1x32,complex:8x8,double".
 
+   Telemetry (--trace, --metrics, and run's --profile/--profile-json)
+   goes to stderr or to explicit files — stdout carries only the
+   generated C or the simulation report, so telemetry never corrupts
+   piped output. The one exception is run's --profile hot-line report,
+   which IS the requested simulation report and prints to stdout.
+
    Exit codes: 0 success; 1 diagnostics with errors (or warnings under
    --Werror, or a simulator trap); 2 command-line usage errors; 3
    internal compiler error. *)
@@ -122,6 +128,27 @@ let rec handle_exn = function
 
 let handle_errors f = try f () with e -> handle_exn e
 
+(* ---- telemetry ----
+
+   Dumps are registered with [at_exit] so they fire on every exit path
+   (success, diagnostics, traps): a failed compile still writes the
+   trace that explains where the time went. All of it goes to stderr or
+   to an explicit file, never stdout. *)
+
+let setup_telemetry ~trace ~metrics =
+  (match trace with
+  | Some path ->
+    Masc_obs.Trace.enable ();
+    at_exit (fun () ->
+        write_file path (Masc_obs.Trace.chrome_json ());
+        Printf.eprintf "trace: wrote %s\nspan summary:\n%s%!" path
+          (Masc_obs.Trace.summary ()))
+  | None -> ());
+  if metrics then
+    at_exit (fun () ->
+        Masc_obs.Metrics.set "gc.minor_words" (Gc.minor_words ());
+        Printf.eprintf "metrics:\n%s%!" (Masc_obs.Metrics.dump_text ()))
+
 (* ---- diagnostics reporting ---- *)
 
 type diag_format = Text | Json
@@ -177,8 +204,9 @@ let vec_note (compiled : C.compiled) =
 
 let do_compile files entry args_spec target isa_file opt_level coder
     no_vectorize no_complex output emit_header dump_stages opt_stats jobs
-    diag_fmt werror =
+    diag_fmt werror trace metrics =
   handle_errors @@ fun () ->
+  setup_telemetry ~trace ~metrics;
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
   let arg_types = parse_arg_spec args_spec in
@@ -291,8 +319,10 @@ let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
     arg_types
 
 let do_run file entry args_spec target isa_file opt_level coder no_vectorize
-    no_complex seed show_output opt_stats diag_fmt werror fuel =
+    no_complex seed show_output opt_stats diag_fmt werror fuel trace metrics
+    profile profile_json =
   handle_errors @@ fun () ->
+  setup_telemetry ~trace ~metrics;
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
   let source = read_file file in
@@ -313,8 +343,14 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
   let compiled = match compiled with Some c -> c | None -> exit 1 in
   let inputs = random_inputs ~seed arg_types in
   current_phase := "simulate";
-  let result =
-    match C.run ?fuel compiled inputs with
+  let profiling = profile || profile_json <> None in
+  let result, prof_snap =
+    match
+      if profiling then
+        let r, snap = C.run_profiled ?fuel compiled inputs in
+        (r, Some snap)
+      else (C.run ?fuel compiled inputs, None)
+    with
     | result -> result
     | exception e -> (
       (* Guardrail traps and runtime failures are structured program
@@ -354,6 +390,15 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
       Printf.printf "  %-12s %10d (%.1f%%)\n" cls cycles
         (100.0 *. float_of_int cycles /. float_of_int (max 1 result.I.cycles)))
     result.I.histogram;
+  (match prof_snap with
+  | Some snap ->
+    if profile then print_string (Masc_obs.Profile.render ~source snap);
+    (match profile_json with
+    | Some path ->
+      write_file path (Masc_obs.Profile.to_json snap);
+      Printf.eprintf "profile: wrote %s\n" path
+    | None -> ())
+  | None -> ());
   if opt_stats then prerr_string (C.opt_stats_dump compiled)
 
 (* ---- targets / kernels ---- *)
@@ -461,6 +506,34 @@ let werror_arg =
   Arg.(value & flag
        & info [ "Werror" ] ~doc:"Treat warnings as errors (exit 1)")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE.json"
+           ~doc:"Record tracing spans for every compiler stage, pass and \
+                 simulation; write Chrome trace_event JSON (load in \
+                 chrome://tracing or Perfetto) to $(docv) and a merged \
+                 span-tree summary to stderr")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Dump the process-wide metrics registry (pass scheduler \
+                 counters, diagnostics, compile-cache hits, simulation \
+                 totals, GC) to stderr on exit")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Profile the simulation: attribute simulated cycles and \
+                 dynamic instructions to MATLAB source lines, opcode \
+                 classes and intrinsics, and print a hot-line report \
+                 (per-line sums equal the total cycle count exactly)")
+
+let profile_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-json" ] ~docv:"FILE.json"
+           ~doc:"Write the simulation profile as JSON to $(docv)")
+
 let fuel_arg =
   Arg.(value & opt (some int) None
        & info [ "fuel" ] ~docv:"N"
@@ -486,7 +559,7 @@ let compile_cmd =
       const do_compile $ files_arg $ entry_arg $ args_arg $ target_arg
       $ isa_arg $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ output_arg
       $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg $ diag_format_arg
-      $ werror_arg)
+      $ werror_arg $ trace_arg $ metrics_arg)
 
 let run_cmd =
   let doc = "compile and execute on the cycle-accounting ASIP simulator" in
@@ -496,7 +569,7 @@ let run_cmd =
       const do_run $ file_arg $ entry_arg $ args_arg $ target_arg $ isa_arg
       $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ seed_arg
       $ show_output_arg $ opt_stats_arg $ diag_format_arg $ werror_arg
-      $ fuel_arg)
+      $ fuel_arg $ trace_arg $ metrics_arg $ profile_arg $ profile_json_arg)
 
 let targets_cmd =
   Cmd.v

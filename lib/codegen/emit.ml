@@ -273,7 +273,7 @@ let rec emit_block env (block : Mir.block) =
   List.iter (emit_instr env) block
 
 and emit_instr env (instr : Mir.instr) =
-  match instr with
+  match instr.Mir.idesc with
   | Mir.Idef (v, rv) -> line env "%s = %s;" (c_name v) (rvalue env v rv)
   | Mir.Istore (arr, idx, x) ->
     let sty = Mir.elem_ty arr in
@@ -390,7 +390,7 @@ let stored_arrays (f : Mir.func) : (int, unit) Hashtbl.t =
   let rec go block =
     List.iter
       (fun (i : Mir.instr) ->
-        match i with
+        match i.Mir.idesc with
         | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
           Hashtbl.replace tbl arr.Mir.vid ()
         | Mir.Iif (_, t, e) ->
@@ -477,13 +477,13 @@ let func ~isa ~mode (f : Mir.func) : string =
   line env "";
   if
     List.exists
-      (fun (i : Mir.instr) -> i = Mir.Ireturn)
+      (fun (i : Mir.instr) -> i.Mir.idesc = Mir.Ireturn)
       (let acc = ref [] in
        let rec collect b =
          List.iter
            (fun (i : Mir.instr) ->
              acc := i :: !acc;
-             match i with
+             match i.Mir.idesc with
              | Mir.Iif (_, t, e) ->
                collect t;
                collect e

@@ -60,10 +60,12 @@ let verify_stages = Sys.getenv_opt "MASC_VERIFY_STAGES" <> None
 exception Frontend_errors
 
 let compile_with ?passes ~sink config ~source ~entry ~arg_types =
-  (* [timed] is free when MASC_TIME_STAGES is unset; set it to get one
-     stderr line per front-end stage here and per pass inside
-     [Pipeline.optimize]. *)
+  (* Each stage runs inside a Masc_obs.Trace span (category "stage";
+     passes inside Pipeline.optimize get "pass" spans). Free when
+     tracing is disabled; MASC_TIME_STAGES enables echo mode for the
+     historical one-stderr-line-per-stage output. *)
   let timed name f x = Pipeline.timed "stage" name f x in
+  Masc_obs.Metrics.incr "compile.runs";
   let typed =
     timed "infer"
       (fun arg_types -> Infer.infer_source ~sink source ~entry ~arg_types)
@@ -197,8 +199,11 @@ let cache_key config ~source ~entry ~arg_types =
 let compile_cached config ~source ~entry ~arg_types =
   let key = cache_key config ~source ~entry ~arg_types in
   match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
-  | Some c -> c
+  | Some c ->
+    Masc_obs.Metrics.incr "compile.cache_hits";
+    c
   | None ->
+    Masc_obs.Metrics.incr "compile.cache_misses";
     let c = compile config ~source ~entry ~arg_types in
     Mutex.protect cache_lock (fun () ->
         match Hashtbl.find_opt cache key with
@@ -214,7 +219,38 @@ let c_source c =
 let runtime_header c = Masc_codegen.Runtime.header c.config.isa
 
 let run ?max_cycles ?fuel ?max_alloc_bytes c inputs =
-  Masc_vm.Plan.execute ?max_cycles ?fuel ?max_alloc_bytes (plan c) inputs
+  let r =
+    Masc_obs.Trace.span ~cat:"sim" c.mir.Masc_mir.Mir.name (fun () ->
+        Masc_vm.Plan.execute ?max_cycles ?fuel ?max_alloc_bytes (plan c)
+          inputs)
+  in
+  Masc_obs.Metrics.incr "sim.runs";
+  Masc_obs.Metrics.observe "sim.cycles" (float_of_int r.Masc_vm.Exec.cycles);
+  Masc_obs.Metrics.observe "sim.dyn_instrs"
+    (float_of_int r.Masc_vm.Exec.dyn_instrs);
+  r
+
+(* Profiled runs build a separate plan with attribution wrappers
+   compiled in; the memoized fast plan above stays untouched, so
+   profiling a compilation never perturbs its benchmark numbers. The
+   profiled plan is rebuilt per call — profiling is a diagnostic act,
+   not a hot path. *)
+let run_profiled ?max_cycles ?fuel ?max_alloc_bytes c inputs =
+  let col = Masc_obs.Profile.create () in
+  let p =
+    Masc_vm.Plan.compile ~profile:true ~isa:c.config.isa ~mode:c.config.mode
+      c.mir
+  in
+  let r =
+    Masc_obs.Trace.span ~cat:"sim" (c.mir.Masc_mir.Mir.name ^ ":profiled")
+      (fun () ->
+        Masc_vm.Plan.execute ?max_cycles ?fuel ?max_alloc_bytes ~profile:col
+          p inputs)
+  in
+  Masc_obs.Metrics.incr "sim.profiled_runs";
+  ( r,
+    Masc_obs.Profile.snapshot col ~total_cycles:r.Masc_vm.Exec.cycles
+      ~total_instrs:r.Masc_vm.Exec.dyn_instrs )
 
 let stage_dump c =
   let b = Buffer.create 8192 in

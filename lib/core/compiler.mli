@@ -120,6 +120,20 @@ val run :
   Masc_vm.Interp.xvalue list ->
   Masc_vm.Interp.result
 
+(** [run_profiled c inputs] is {!run} plus a source-attributed profile:
+    simulated cycles and dynamic instruction counts per MATLAB source
+    line, per opcode class and per intrinsic/ISE (exact partitions of
+    the run's totals). Builds a separate profiled plan; the memoized
+    {!plan} — and therefore every unprofiled simulation — is
+    untouched. *)
+val run_profiled :
+  ?max_cycles:int ->
+  ?fuel:int ->
+  ?max_alloc_bytes:int ->
+  compiled ->
+  Masc_vm.Interp.xvalue list ->
+  Masc_vm.Interp.result * Masc_obs.Profile.snapshot
+
 (** Multi-stage dump for [--dump-stages]: typed AST summary, raw MIR,
     final MIR, and C. *)
 val stage_dump : compiled -> string

@@ -112,9 +112,15 @@ let push c d =
 
 type sink = Raise | Ctx of context
 
+let count_severity = function
+  | Severity.Error -> Masc_obs.Metrics.incr "diag.errors"
+  | Severity.Warning -> Masc_obs.Metrics.incr "diag.warnings"
+  | Severity.Note -> Masc_obs.Metrics.incr "diag.notes"
+
 let report sink severity phase span fmt =
   Format.kasprintf
     (fun message ->
+      count_severity severity;
       match (sink, severity) with
       | Raise, Severity.Error -> raise (Error (phase, span, message))
       | Raise, (Severity.Warning | Severity.Note) ->
@@ -124,7 +130,11 @@ let report sink severity phase span fmt =
     fmt
 
 let error phase span fmt =
-  Format.kasprintf (fun msg -> raise (Error (phase, span, msg))) fmt
+  Format.kasprintf
+    (fun msg ->
+      count_severity Severity.Error;
+      raise (Error (phase, span, msg)))
+    fmt
 
 (* ---------------- rendering ---------------- *)
 

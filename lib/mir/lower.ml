@@ -115,10 +115,15 @@ let array_len (v : Mir.var) =
   | Mir.Tarray (_, n) -> n
   | Mir.Tscalar _ -> invalid_arg "array_len: scalar"
 
-(* Emit a counted loop [for k = 0 .. n-1] with a fresh induction var. *)
+(* Emit a counted loop [for k = 0 .. n-1] with a fresh induction var.
+   The loop instruction itself carries the span that was current when
+   the loop was requested, not whatever the last body statement set —
+   the profiler attributes loop overhead to the originating line. *)
 let counted_loop frame n (body : Mir.operand -> unit) =
+  let loc = B.current_loc frame.b in
   let ivar = B.fresh_var frame.b ~hint:"k" (Mir.Tscalar Mir.int_sty) in
   let block = B.nested frame.b (fun () -> body (Mir.Ovar ivar)) in
+  B.set_loc frame.b loc;
   B.emit frame.b
     (Mir.Iloop
        { Mir.ivar; lo = iconst 0; step = iconst 1; hi = iconst (n - 1);
@@ -1050,7 +1055,11 @@ and lower_call frame (inst_idx : int) (args : T.texpr list) : Mir.operand list =
         end
       end)
     tf.T.tparams args;
+  (* Callee statements set their own spans; restore the call site's so
+     glue emitted after the inlined body is attributed to the caller. *)
+  let call_loc = B.current_loc frame.b in
   lower_block callee tf.T.tbody;
+  B.set_loc frame.b call_loc;
   List.map
     (fun (rname, _) ->
       let rv = get_var callee rname in
@@ -1070,7 +1079,14 @@ and lower_block frame (block : T.tblock) =
 
 and lower_stmt frame (stmt : T.tstmt) =
   let span = stmt.T.sspan in
-  match stmt.T.sdesc with
+  (* Every instruction emitted for this statement — including glue such
+     as bounds defs and inlined-call copies — inherits its span, which
+     is what the simulator profiler attributes cycles to. *)
+  B.set_loc frame.b span;
+  lower_stmt_desc frame span stmt.T.sdesc
+
+and lower_stmt_desc frame span sdesc =
+  match sdesc with
   | T.Tassign (name, rhs) ->
     let dst = get_var frame name in
     if Mir.is_array dst then begin
@@ -1217,6 +1233,9 @@ and lower_stmt frame (stmt : T.tstmt) =
         let c = lower_scalar frame cond in
         let then_b = B.nested frame.b (fun () -> lower_block frame body) in
         let else_b = B.nested frame.b (fun () -> build rest) in
+        (* Branch overhead belongs to the if line, not the last line of
+           a lowered arm. *)
+        B.set_loc frame.b span;
         B.emit frame.b (Mir.Iif (c, then_b, else_b))
     in
     build arms
@@ -1230,12 +1249,15 @@ and lower_stmt frame (stmt : T.tstmt) =
       let ohi = lower_scalar frame hi in
       let ivar = get_var frame var in
       let blk = B.nested frame.b (fun () -> lower_block frame body) in
+      (* Loop overhead belongs to the for line. *)
+      B.set_loc frame.b span;
       B.emit frame.b
         (Mir.Iloop { Mir.ivar; lo = olo; step = ostep; hi = ohi; body = blk })
     | T.Titer_vector vec ->
       let vv = lower_array_value frame vec in
       let n = array_len vv in
       let xvar = get_var frame var in
+      B.set_loc frame.b span;
       counted_loop frame n (fun k ->
           B.emit frame.b (Mir.Idef (xvar, Mir.Rload (vv, k)));
           lower_block frame body))
@@ -1244,6 +1266,7 @@ and lower_stmt frame (stmt : T.tstmt) =
       B.nested_with frame.b (fun () -> lower_scalar frame cond)
     in
     let blk = B.nested frame.b (fun () -> lower_block frame body) in
+    B.set_loc frame.b span;
     B.emit frame.b (Mir.Iwhile { cond_block; cond = c; body = blk })
   | T.Tprint (fmt, args) ->
     let ops =

@@ -43,7 +43,14 @@ type rvalue =
   | Rvreduce of vreduce * operand
   | Rintrin of string * operand list
 
-type instr =
+(* Every instruction carries the source span of the MATLAB construct it
+   was lowered from ([Loc.dummy] for synthetic glue). The span rides
+   through every pass untouched — rewrites that replace [idesc] keep the
+   original [iloc] — so the simulator profiler can attribute cycles back
+   to source lines after arbitrary optimization. *)
+type instr = { idesc : instr_desc; iloc : Masc_frontend.Loc.span }
+
+and instr_desc =
   | Idef of var * rvalue
   | Istore of var * operand * operand
   | Ivstore of var * operand * operand * int
@@ -58,6 +65,19 @@ type instr =
 
 and loop = { ivar : var; lo : operand; step : operand; hi : operand; body : block }
 and block = instr list
+
+let at loc d = { idesc = d; iloc = loc }
+let instr d = { idesc = d; iloc = Masc_frontend.Loc.dummy }
+
+(* Sharing-preserving re-description: passes go through [redesc] so an
+   unchanged [idesc] keeps the original [instr] block physically equal
+   (the fixpoint manager detects change by [==]). *)
+let redesc i d = if d == i.idesc then i else { i with idesc = d }
+
+(* Source line an instruction's cycles are attributed to; 0 = synthetic. *)
+let line_of i =
+  if Masc_frontend.Loc.is_dummy i.iloc then 0
+  else i.iloc.Masc_frontend.Loc.start_pos.Masc_frontend.Loc.line
 
 type func = {
   name : string;
@@ -102,9 +122,12 @@ module Builder = struct
     mutable next_id : int;
     mutable all_vars : var list;  (* reversed *)
     mutable stack : instr list list;  (* stack of reversed blocks *)
+    mutable cur_loc : Masc_frontend.Loc.span;
   }
 
-  let create fname = { fname; next_id = 0; all_vars = []; stack = [ [] ] }
+  let create fname =
+    { fname; next_id = 0; all_vars = []; stack = [ [] ];
+      cur_loc = Masc_frontend.Loc.dummy }
 
   let fresh_var b ?(hint = "t") ty =
     let v = { vname = hint; vid = b.next_id; vty = ty } in
@@ -112,7 +135,14 @@ module Builder = struct
     b.all_vars <- v :: b.all_vars;
     v
 
-  let emit b i =
+  (* Emission sites stay loc-free: [set_loc] is called once per source
+     statement and every instruction emitted while lowering it inherits
+     that span (including glue like bounds defs and inline-call copies). *)
+  let set_loc b loc = b.cur_loc <- loc
+  let current_loc b = b.cur_loc
+
+  let emit b d =
+    let i = { idesc = d; iloc = b.cur_loc } in
     match b.stack with
     | top :: rest -> b.stack <- (i :: top) :: rest
     | [] -> assert false

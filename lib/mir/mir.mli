@@ -63,7 +63,13 @@ type rvalue =
   | Rintrin of string * operand list
       (** target intrinsic selected by the vectorizer / idiom recognizer *)
 
-type instr =
+(** An instruction is its description plus the source span of the MATLAB
+    construct it was lowered from ([Loc.dummy] for synthetic glue).
+    Passes preserve [iloc] across rewrites, so the simulator profiler can
+    attribute cycles to source lines after arbitrary optimization. *)
+type instr = { idesc : instr_desc; iloc : Masc_frontend.Loc.span }
+
+and instr_desc =
   | Idef of var * rvalue
   | Istore of var * operand * operand  (** array, index, value *)
   | Ivstore of var * operand * operand * int  (** array, base index, vector value, lanes *)
@@ -94,6 +100,20 @@ type func = {
   body : block;
 }
 
+(** [at loc d] / [instr d] wrap a description into an instruction (with
+    [Loc.dummy] for [instr]). *)
+val at : Masc_frontend.Loc.span -> instr_desc -> instr
+
+val instr : instr_desc -> instr
+
+(** [redesc i d] is [i] with description [d], preserving [i] itself
+    (physical equality) when [d == i.idesc] — passes use it so unchanged
+    instructions keep sharing. *)
+val redesc : instr -> instr_desc -> instr
+
+(** Source line for cycle attribution; 0 when the span is synthetic. *)
+val line_of : instr -> int
+
 val scalar_of_mtype : Masc_sema.Mtype.t -> scalar_ty
 
 (** [ty_of_mtype t] maps 1x1 types to registers and everything else to
@@ -118,7 +138,13 @@ module Builder : sig
 
   val create : string -> t
   val fresh_var : t -> ?hint:string -> ty -> var
-  val emit : t -> instr -> unit
+
+  (** [set_loc b span] makes subsequent {!emit}s carry [span]; lowering
+      calls it once per source statement. *)
+  val set_loc : t -> Masc_frontend.Loc.span -> unit
+
+  val current_loc : t -> Masc_frontend.Loc.span
+  val emit : t -> instr_desc -> unit
 
   (** [nested b f] collects the instructions emitted by [f ()] into a
       separate block (for loop bodies and branches). *)

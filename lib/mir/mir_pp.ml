@@ -80,7 +80,8 @@ let pp_rvalue ppf = function
   | Rintrin (name, args) ->
     Format.fprintf ppf "intrin %s(%a)" name pp_operands args
 
-let rec pp_instr ppf = function
+let rec pp_instr ppf i =
+  match i.idesc with
   | Idef (v, rv) ->
     Format.fprintf ppf "@[<h>%a : %a = %a@]" pp_var v pp_ty v.vty pp_rvalue rv
   | Istore (arr, idx, v) ->

@@ -78,7 +78,7 @@ let check (func : func) =
   let rec check_block ~in_loop (b : block) =
     List.iter
       (fun (i : instr) ->
-        match i with
+        match i.idesc with
         | Idef (v, rv) ->
           check_declared v;
           if is_array v then

@@ -1,0 +1,31 @@
+(** Process-wide registry of named counters, gauges and histograms.
+
+    One dump format shared by [mascc --metrics], the bench JSON (schema
+    v4) and tests. Thread-safe; counter aggregation is commutative so
+    dumps are deterministic under [--jobs]. *)
+
+type kind = Counter | Gauge | Histogram
+
+(** [incr ?by name] bumps counter [name] (created on first use). *)
+val incr : ?by:int -> string -> unit
+
+(** [set name v] sets gauge [name] to [v]. *)
+val set : string -> float -> unit
+
+(** [observe name v] records [v] into histogram [name]
+    (count/sum/min/max). *)
+val observe : string -> float -> unit
+
+(** Counter value, gauge level, or histogram sum; [None] if the metric
+    was never touched. *)
+val get : string -> float option
+
+val reset : unit -> unit
+
+(** One line per metric, sorted by name. *)
+val dump_text : unit -> string
+
+(** JSON object keyed by metric name, sorted; stable schema
+    [{"type":"counter","value":n}] / [{"type":"gauge",...}] /
+    [{"type":"histogram","count":n,"sum":s,"min":m,"max":M}]. *)
+val dump_json : unit -> string

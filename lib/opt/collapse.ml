@@ -8,12 +8,13 @@ exception Candidate
 let has_candidate (func : Mir.func) =
   let rec scan (l : Mir.block) =
     match l with
-    | Mir.Idef (t, _) :: Mir.Idef (x, Mir.Rmove (Mir.Ovar t')) :: _
+    | { Mir.idesc = Mir.Idef (t, _); _ }
+      :: { Mir.idesc = Mir.Idef (x, Mir.Rmove (Mir.Ovar t')); _ } :: _
       when t'.Mir.vid = t.Mir.vid && t.Mir.vty = x.Mir.vty
            && x.Mir.vid <> t.Mir.vid ->
       raise Candidate
     | i :: tl ->
-      (match i with
+      (match i.Mir.idesc with
       | Mir.Iif (_, a, b) ->
         scan a;
         scan b
@@ -33,7 +34,9 @@ let collapse_with_uses (func : Mir.func) : Mir.func =
   let process (block : Mir.block) : Mir.block =
     let rec go (l : Mir.block) : Mir.block =
       match l with
-      | Mir.Idef (t, rv) :: Mir.Idef (x, Mir.Rmove (Mir.Ovar t')) :: rest
+      | { Mir.idesc = Mir.Idef (t, rv); _ }
+        :: ({ Mir.idesc = Mir.Idef (x, Mir.Rmove (Mir.Ovar t')); _ } as ix)
+        :: rest
         when t'.Mir.vid = t.Mir.vid
              && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false)
              && (not (List.mem t.Mir.vid ret_ids))
@@ -44,7 +47,8 @@ let collapse_with_uses (func : Mir.func) : Mir.func =
                 which is exactly what we want to expose and is safe
                 because the read happens in the same evaluation. *)
       ->
-        Mir.Idef (x, rv) :: go rest
+        (* Keep the user-visible assignment's span on the collapsed def. *)
+        Mir.redesc ix (Mir.Idef (x, rv)) :: go rest
       | i :: rest ->
         let rest' = go rest in
         if rest' == rest then l else i :: rest'

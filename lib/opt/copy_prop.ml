@@ -38,7 +38,7 @@ let run (func : Mir.func) : Mir.func =
     let subst_rvalue rv = Rewrite.map_operands subst rv in
     Rewrite.smap
       (fun (instr : Mir.instr) ->
-        match instr with
+        match instr.Mir.idesc with
         | Mir.Idef (v, rv) ->
           let rv' = subst_rvalue rv in
           kill v.Mir.vid;
@@ -52,19 +52,19 @@ let run (func : Mir.func) : Mir.func =
             when src.Mir.vty = v.Mir.vty && not (Mir.is_array src) ->
             Hashtbl.replace map v.Mir.vid op
           | _ -> ());
-          if rv' == rv then instr else Mir.Idef (v, rv')
+          if rv' == rv then instr else Mir.redesc instr (Mir.Idef (v, rv'))
         | Mir.Istore (arr, idx, x) ->
           let idx' = subst idx and x' = subst x in
           if idx' == idx && x' == x then instr
-          else Mir.Istore (arr, idx', x')
+          else Mir.redesc instr (Mir.Istore (arr, idx', x'))
         | Mir.Ivstore (arr, base, x, l) ->
           let base' = subst base and x' = subst x in
           if base' == base && x' == x then instr
-          else Mir.Ivstore (arr, base', x', l)
+          else Mir.redesc instr (Mir.Ivstore (arr, base', x', l))
         | Mir.Iif (c, t, e) ->
           let c' = subst c in
           Hashtbl.clear map;
-          if c' == c then instr else Mir.Iif (c', t, e)
+          if c' == c then instr else Mir.redesc instr (Mir.Iif (c', t, e))
         | Mir.Iloop l ->
           let lo' = subst l.Mir.lo
           and step' = subst l.Mir.step
@@ -72,13 +72,13 @@ let run (func : Mir.func) : Mir.func =
           Hashtbl.clear map;
           if lo' == l.Mir.lo && step' == l.Mir.step && hi' == l.Mir.hi then
             instr
-          else Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' }
+          else Mir.redesc instr (Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' })
         | Mir.Iwhile _ ->
           Hashtbl.clear map;
           instr
         | Mir.Iprint (fmt, ops) ->
           let ops' = Rewrite.smap subst ops in
-          if ops' == ops then instr else Mir.Iprint (fmt, ops')
+          if ops' == ops then instr else Mir.redesc instr (Mir.Iprint (fmt, ops'))
         | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
       block
   in

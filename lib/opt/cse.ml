@@ -95,7 +95,7 @@ let run (func : Mir.func) : Mir.func =
     in
     Rewrite.smap
       (fun (instr : Mir.instr) ->
-        match instr with
+        match instr.Mir.idesc with
         | Mir.Idef (v, rv) -> (
           let rv' = subst_rvalue rv in
           (* store-to-load forwarding *)
@@ -112,28 +112,28 @@ let run (func : Mir.func) : Mir.func =
           | exception Not_found ->
             kill v.Mir.vid;
             if cacheable rv' then Hashtbl.replace available rv' v;
-            if rv' == rv then instr else Mir.Idef (v, rv')
+            if rv' == rv then instr else Mir.redesc instr (Mir.Idef (v, rv'))
           | prior
             when prior.Mir.vid <> v.Mir.vid && prior.Mir.vty = v.Mir.vty ->
             kill v.Mir.vid;
             Hashtbl.replace subst_map v.Mir.vid (Mir.Ovar prior);
-            Mir.Idef (v, Mir.Rmove (Mir.Ovar prior))
+            Mir.redesc instr (Mir.Idef (v, Mir.Rmove (Mir.Ovar prior)))
           | _ ->
             kill v.Mir.vid;
             if cacheable rv' then Hashtbl.replace available rv' v;
-            if rv' == rv then instr else Mir.Idef (v, rv'))
+            if rv' == rv then instr else Mir.redesc instr (Mir.Idef (v, rv')))
         | Mir.Istore (arr, idx, x) ->
           kill_loads ();
           let idx' = subst idx and x' = subst x in
           Hashtbl.replace store_avail arr.Mir.vid (idx', x');
           if idx' == idx && x' == x then instr
-          else Mir.Istore (arr, idx', x')
+          else Mir.redesc instr (Mir.Istore (arr, idx', x'))
         | Mir.Ivstore (arr, base, x, l) ->
           kill_loads ();
           Hashtbl.remove store_avail arr.Mir.vid;
           let base' = subst base and x' = subst x in
           if base' == base && x' == x then instr
-          else Mir.Ivstore (arr, base', x', l)
+          else Mir.redesc instr (Mir.Ivstore (arr, base', x', l))
         | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ ->
           Hashtbl.clear available;
           Hashtbl.clear subst_map;
@@ -141,7 +141,7 @@ let run (func : Mir.func) : Mir.func =
           instr
         | Mir.Iprint (fmt, ops) ->
           let ops' = Rewrite.smap subst ops in
-          if ops' == ops then instr else Mir.Iprint (fmt, ops')
+          if ops' == ops then instr else Mir.redesc instr (Mir.Iprint (fmt, ops'))
         | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ -> instr)
       block
   in

@@ -11,7 +11,8 @@ let read_counts (func : Mir.func) : (int, int) Hashtbl.t =
     | Mir.Oconst _ -> ()
   in
   Rewrite.iter_instrs
-    (function
+    (fun i ->
+      match i.Mir.idesc with
       | Mir.Idef (_, rv) -> Rewrite.iter_operands bump rv
       | Mir.Istore (_, idx, v) ->
         bump idx;
@@ -34,7 +35,7 @@ let read_counts (func : Mir.func) : (int, int) Hashtbl.t =
 let rec block_has_effects (b : Mir.block) =
   List.exists
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Istore _ | Mir.Ivstore _ | Mir.Iprint _ | Mir.Ibreak
       | Mir.Icontinue | Mir.Ireturn | Mir.Idef _ ->
         true
@@ -64,7 +65,7 @@ let run (func : Mir.func) : Mir.func =
     | Mir.Oconst _ -> ()
   in
   let rec forget_instr (i : Mir.instr) =
-    match i with
+    match i.Mir.idesc with
     | Mir.Idef (_, rv) -> Rewrite.iter_operands drop rv
     | Mir.Istore (_, idx, v) ->
       drop idx;
@@ -93,7 +94,7 @@ let run (func : Mir.func) : Mir.func =
     read arr.Mir.vid || List.mem arr.Mir.vid ret_ids
   in
   let keep (instr : Mir.instr) =
-    match instr with
+    match instr.Mir.idesc with
     | Mir.Idef (v, rv) ->
       (* Loads are removable when dead: lowered programs only emit
          in-bounds accesses, so dropping one cannot hide a fault. *)

@@ -33,7 +33,7 @@ let summarize (body : Mir.block) : summary =
   in
   List.iter
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Icomment _ -> ()
       | Mir.Idef (v, rv) ->
         if Hashtbl.mem defs v.Mir.vid then raise No_fuse;
@@ -91,10 +91,10 @@ let rename_ivar ~from_v ~to_v (body : Mir.block) : Mir.block =
   in
   List.map
     (fun (i : Mir.instr) ->
-      match i with
-      | Mir.Idef (v, rv) -> Mir.Idef (v, sub_rv rv)
-      | Mir.Istore (arr, idx, x) -> Mir.Istore (arr, sub idx, sub x)
-      | other -> other)
+      match i.Mir.idesc with
+      | Mir.Idef (v, rv) -> Mir.redesc i (Mir.Idef (v, sub_rv rv))
+      | Mir.Istore (arr, idx, x) -> Mir.redesc i (Mir.Istore (arr, sub idx, sub x))
+      | _ -> i)
     body
 
 let try_fuse (l1 : Mir.loop) (l2 : Mir.loop) : Mir.loop option =
@@ -158,12 +158,14 @@ let run (func : Mir.func) : Mir.func =
   let process (block : Mir.block) : Mir.block =
     let rec go (l : Mir.block) : Mir.block =
       match l with
-      | Mir.Iloop l1 :: (Mir.Iloop l2 :: rest as tl) -> (
+      | ({ Mir.idesc = Mir.Iloop l1; _ } as i1)
+        :: ({ Mir.idesc = Mir.Iloop l2; _ } :: rest as tl) -> (
+        (* The fused loop keeps the first loop's source span. *)
         match try_fuse l1 l2 with
-        | Some fused -> go (Mir.Iloop fused :: rest)
+        | Some fused -> go (Mir.redesc i1 (Mir.Iloop fused) :: rest)
         | None ->
           let tl' = go tl in
-          if tl' == tl then l else Mir.Iloop l1 :: tl')
+          if tl' == tl then l else i1 :: tl')
       | i :: rest ->
         let rest' = go rest in
         if rest' == rest then l else i :: rest'

@@ -8,7 +8,8 @@ let propagate (func : Mir.func) : Mir.func =
       (1 + (try Hashtbl.find def_counts vid with Not_found -> 0))
   in
   Rewrite.iter_instrs
-    (function
+    (fun i ->
+      match i.Mir.idesc with
       | Mir.Idef (v, _) -> bump v.Mir.vid
       | Mir.Iloop l -> bump l.Mir.ivar.Mir.vid
       | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _ | Mir.Ibreak
@@ -19,7 +20,7 @@ let propagate (func : Mir.func) : Mir.func =
   let consts : (int, Mir.const) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Idef (v, Mir.Rmove (Mir.Oconst c))
         when (try Hashtbl.find def_counts v.Mir.vid = 1 with Not_found -> false)
              && v.Mir.vty = Mir.operand_ty (Mir.Oconst c) ->
@@ -40,35 +41,35 @@ let propagate (func : Mir.func) : Mir.func =
     let rewrite (block : Mir.block) : Mir.block =
       Rewrite.smap
         (fun (instr : Mir.instr) ->
-          match instr with
+          match instr.Mir.idesc with
           | Mir.Idef (v, rv) ->
             let rv' = subst_rvalue rv in
-            if rv' == rv then instr else Mir.Idef (v, rv')
+            if rv' == rv then instr else Mir.redesc instr (Mir.Idef (v, rv'))
           | Mir.Istore (arr, idx, x) ->
             let idx' = subst idx and x' = subst x in
             if idx' == idx && x' == x then instr
-            else Mir.Istore (arr, idx', x')
+            else Mir.redesc instr (Mir.Istore (arr, idx', x'))
           | Mir.Ivstore (arr, base, x, l) ->
             let base' = subst base and x' = subst x in
             if base' == base && x' == x then instr
-            else Mir.Ivstore (arr, base', x', l)
+            else Mir.redesc instr (Mir.Ivstore (arr, base', x', l))
           | Mir.Iif (c, t, e) ->
             let c' = subst c in
-            if c' == c then instr else Mir.Iif (c', t, e)
+            if c' == c then instr else Mir.redesc instr (Mir.Iif (c', t, e))
           | Mir.Iloop l ->
             let lo' = subst l.Mir.lo
             and step' = subst l.Mir.step
             and hi' = subst l.Mir.hi in
             if lo' == l.Mir.lo && step' == l.Mir.step && hi' == l.Mir.hi then
               instr
-            else Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' }
+            else Mir.redesc instr (Mir.Iloop { l with Mir.lo = lo'; step = step'; hi = hi' })
           | Mir.Iwhile { cond_block; cond; body } ->
             let cond' = subst cond in
             if cond' == cond then instr
-            else Mir.Iwhile { cond_block; cond = cond'; body }
+            else Mir.redesc instr (Mir.Iwhile { cond_block; cond = cond'; body })
           | Mir.Iprint (fmt, ops) ->
             let ops' = Rewrite.smap subst ops in
-            if ops' == ops then instr else Mir.Iprint (fmt, ops')
+            if ops' == ops then instr else Mir.redesc instr (Mir.Iprint (fmt, ops'))
           | Mir.Ibreak | Mir.Icontinue | Mir.Ireturn | Mir.Icomment _ ->
             instr)
         block
@@ -83,7 +84,7 @@ let run (func : Mir.func) : Mir.func =
   let candidate =
     List.exists
       (fun (i : Mir.instr) ->
-        match i with
+        match i.Mir.idesc with
         | Mir.Idef (v, Mir.Rmove (Mir.Oconst c)) ->
           v.Mir.vty = Mir.operand_ty (Mir.Oconst c)
         | _ -> false)

@@ -24,8 +24,8 @@ let run (func : Mir.func) : Mir.func =
     in
     let rec count_defs block =
       List.iter
-        (fun i ->
-          match (i : Mir.instr) with
+        (fun (i : Mir.instr) ->
+          match i.Mir.idesc with
           | Mir.Idef (v, _) -> bump v.Mir.vid
           | Mir.Iloop inner ->
             bump inner.Mir.ivar.Mir.vid;
@@ -56,7 +56,7 @@ let run (func : Mir.func) : Mir.func =
       | Mir.Oconst _ -> true
     in
     let hoistable (i : Mir.instr) =
-      match i with
+      match i.Mir.idesc with
       | Mir.Idef (v, rv) -> (
         (try Hashtbl.find def_counts v.Mir.vid = 1 with Not_found -> false)
         && Rewrite.forall_operands invariant_operand rv
@@ -81,12 +81,13 @@ let run (func : Mir.func) : Mir.func =
     let rec go (bl : Mir.block) : Mir.block =
       match bl with
       | [] -> bl
-      | (Mir.Iloop l as instr) :: rest -> (
+      | ({ Mir.idesc = Mir.Iloop l; _ } as instr) :: rest -> (
         match hoist_loop l with
         | None ->
           let rest' = go rest in
           if rest' == rest then bl else instr :: rest'
-        | Some (hoisted, l') -> hoisted @ (Mir.Iloop l' :: go rest))
+        | Some (hoisted, l') ->
+          hoisted @ (Mir.redesc instr (Mir.Iloop l') :: go rest))
       | instr :: rest ->
         let rest' = go rest in
         if rest' == rest then bl else instr :: rest'

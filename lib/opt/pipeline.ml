@@ -79,25 +79,12 @@ type pass_stat = {
   mutable skipped : int;
 }
 
-(* Opt-in wall-clock instrumentation: MASC_TIME_STAGES=1 prints one
-   stderr line per pass/stage. Stderr so it composes with `-- json` on
-   stdout; read eagerly at module init so the hot path is a plain load
-   and concurrent domains never race a lazy thunk. *)
-let time_stages = Sys.getenv_opt "MASC_TIME_STAGES" <> None
-
-(* Monotonic clock (ns): wall-clock adjustments (NTP slew, DST) must not
-   produce negative or skewed stage timings. *)
-let now_ns () = Monotonic_clock.now ()
-
-let timed what name f x =
-  if time_stages then begin
-    let t0 = now_ns () in
-    let r = f x in
-    Printf.eprintf "[masc-time] %-5s %-14s %8.3f ms\n%!" what name
-      (Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6);
-    r
-  end
-  else f x
+(* Stage/pass timing goes through the tracing layer: spans record into
+   the shared trace buffer (exportable as Chrome JSON or a tree
+   summary) and, in echo mode — what MASC_TIME_STAGES now enables, see
+   Masc_obs.Trace — print the historical one-stderr-line-per-span
+   format. Stderr so telemetry composes with `-- json` on stdout. *)
+let timed what name f x = Masc_obs.Trace.span ~cat:what name (fun () -> f x)
 
 (* Passes whose single run dominates a whole sweep of the cheap
    normalizers: they are deferred to change-free sweeps (below). *)
@@ -198,7 +185,13 @@ let print_stats stats =
 
 let optimize_stats level func =
   let func, stats = run_fixpoint (passes level) func in
-  if time_stages then print_stats stats;
+  List.iter
+    (fun s ->
+      Masc_obs.Metrics.incr "opt.pass_runs" ~by:s.runs;
+      Masc_obs.Metrics.incr "opt.pass_changed" ~by:s.changed;
+      Masc_obs.Metrics.incr "opt.pass_skipped" ~by:s.skipped)
+    stats;
+  if Masc_obs.Trace.echo_enabled () then print_stats stats;
   (func, stats)
 
 let optimize level func = fst (optimize_stats level func)

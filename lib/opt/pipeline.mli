@@ -37,7 +37,9 @@ type pass_stat = {
 val optimize : level -> Masc_mir.Mir.func -> Masc_mir.Mir.func
 
 (** [optimize_stats] is [optimize] plus the per-pass scheduler stats.
-    When [MASC_TIME_STAGES] is set, also prints one
+    Also feeds the [opt.pass_runs]/[opt.pass_changed]/[opt.pass_skipped]
+    counters in {!Masc_obs.Metrics}, and in trace echo mode (the
+    [MASC_TIME_STAGES] alias) prints one
     [\[masc-opt\] <pass> runs=.. changed=.. skipped=..] line per pass to
     stderr. *)
 val optimize_stats :
@@ -65,10 +67,11 @@ val print_stats : pass_stat list -> unit
 val total_runs : pass_stat list -> int
 val total_skipped : pass_stat list -> int
 
-(** [timed what name f x] applies [f x]; when the [MASC_TIME_STAGES]
-    environment variable is set it also prints one
-    [\[masc-time\] <what> <name> <ms>] line to stderr with the call's
-    monotonic-clock time (immune to wall-clock adjustments). [optimize]
-    wraps every pass run in it; the driver ({!Masc.Compiler.compile})
-    wraps each whole stage. *)
+(** [timed what name f x] applies [f x] inside a {!Masc_obs.Trace} span
+    of category [what] — free when tracing is disabled. In echo mode
+    (enabled by the [MASC_TIME_STAGES] environment variable) each span
+    also prints one [\[masc-time\] <what> <name> <ms>] line to stderr
+    with the call's monotonic-clock time. [optimize] wraps every pass
+    run in it; the driver ({!Masc.Compiler.compile}) wraps each whole
+    stage. *)
 val timed : string -> string -> ('a -> 'b) -> 'a -> 'b

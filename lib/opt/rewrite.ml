@@ -17,19 +17,20 @@ let smap f l =
   go l
 
 let rec map_block_instr f (i : Mir.instr) : Mir.instr =
-  match i with
+  match i.Mir.idesc with
   | Mir.Iif (c, t, e) ->
     let t' = map_block f t in
     let e' = map_block f e in
-    if t' == t && e' == e then i else Mir.Iif (c, t', e')
+    if t' == t && e' == e then i else Mir.redesc i (Mir.Iif (c, t', e'))
   | Mir.Iloop l ->
     let body' = map_block f l.Mir.body in
-    if body' == l.Mir.body then i else Mir.Iloop { l with Mir.body = body' }
+    if body' == l.Mir.body then i
+    else Mir.redesc i (Mir.Iloop { l with Mir.body = body' })
   | Mir.Iwhile { cond_block; cond; body } ->
     let cond_block' = map_block f cond_block in
     let body' = map_block f body in
     if cond_block' == cond_block && body' == body then i
-    else Mir.Iwhile { cond_block = cond_block'; cond; body = body' }
+    else Mir.redesc i (Mir.Iwhile { cond_block = cond_block'; cond; body = body' })
   | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak | Mir.Icontinue
   | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
     i
@@ -42,11 +43,11 @@ let map_blocks f (func : Mir.func) : Mir.func =
 
 let map_rvalues f (func : Mir.func) : Mir.func =
   let rewrite_instr instr =
-    match instr with
+    match instr.Mir.idesc with
     | Mir.Idef (v, rv) ->
       let rv' = f rv in
-      if rv' == rv then instr else Mir.Idef (v, rv')
-    | other -> other
+      if rv' == rv then instr else Mir.redesc instr (Mir.Idef (v, rv'))
+    | _ -> instr
   in
   map_blocks (smap rewrite_instr) func
 
@@ -90,7 +91,7 @@ let map_operands f (rv : Mir.rvalue) : Mir.rvalue =
 let rec iter_block g (b : Mir.block) =
   List.iter
     (fun i ->
-      (match i with
+      (match i.Mir.idesc with
       | Mir.Iif (_, t, e) ->
         iter_block g t;
         iter_block g e
@@ -165,7 +166,8 @@ let use_counts (func : Mir.func) : (int, int) Hashtbl.t =
       Hashtbl.replace tbl v.Mir.vid (cur + 1)
     | Mir.Oconst _ -> ()
   in
-  let instr = function
+  let instr i =
+    match i.Mir.idesc with
     | Mir.Idef (_, rv) -> iter_operands bump rv
     | Mir.Istore (arr, idx, v) ->
       bump (Mir.Ovar arr);
@@ -191,7 +193,8 @@ let use_counts (func : Mir.func) : (int, int) Hashtbl.t =
 let defined_in (b : Mir.block) : (int, unit) Hashtbl.t =
   let tbl = Hashtbl.create 16 in
   iter_block
-    (function
+    (fun i ->
+      match i.Mir.idesc with
       | Mir.Idef (v, _) -> Hashtbl.replace tbl v.Mir.vid ()
       | Mir.Iloop l -> Hashtbl.replace tbl l.Mir.ivar.Mir.vid ()
       | Mir.Istore _ | Mir.Ivstore _ | Mir.Iif _ | Mir.Iwhile _ | Mir.Ibreak
@@ -203,7 +206,8 @@ let defined_in (b : Mir.block) : (int, unit) Hashtbl.t =
 let stored_in (b : Mir.block) : (int, unit) Hashtbl.t =
   let tbl = Hashtbl.create 16 in
   iter_block
-    (function
+    (fun i ->
+      match i.Mir.idesc with
       | Mir.Istore (arr, _, _) | Mir.Ivstore (arr, _, _, _) ->
         Hashtbl.replace tbl arr.Mir.vid ()
       | Mir.Idef _ | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ | Mir.Ibreak

@@ -69,8 +69,8 @@ let run ?(sink = Diag.Raise) (isa : Isa.t) (func : Mir.func) :
         let uses = Masc_opt.Rewrite.use_counts func in
         let fuse (block : Mir.block) : Mir.block =
           let rec go = function
-            | Mir.Idef (t, Mir.Rintrin (m, [ a; b ]))
-              :: Mir.Idef (acc, rv_add)
+            | ({ Mir.idesc = Mir.Idef (t, Mir.Rintrin (m, [ a; b ])); _ } as i1)
+              :: ({ Mir.idesc = Mir.Idef (acc, rv_add); _ } as i2)
               :: rest
               when String.equal m cmul_d.Isa.iname
                    && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false) -> (
@@ -102,11 +102,10 @@ let run ?(sink = Diag.Raise) (isa : Isa.t) (func : Mir.func) :
                   { !stats with
                     cmac = !stats.cmac + 1;
                     cadd = max 0 (!stats.cadd - 1) };
-                Mir.Idef (acc, Mir.Rintrin (cmac_d.Isa.iname, [ x; a; b ]))
+                Mir.redesc i2
+                  (Mir.Idef (acc, Mir.Rintrin (cmac_d.Isa.iname, [ x; a; b ])))
                 :: go rest
-              | None ->
-                Mir.Idef (t, Mir.Rintrin (m, [ a; b ]))
-                :: go (Mir.Idef (acc, rv_add) :: rest))
+              | None -> i1 :: go (i2 :: rest))
             | i :: rest -> i :: go rest
             | [] -> []
           in

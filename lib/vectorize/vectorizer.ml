@@ -21,8 +21,14 @@ type ctx = {
   mutable missing : Isa.kind option;
       (* first intrinsic lookup that failed while analyzing the current
          loop: the idiom was recognized but the ISA cannot express it *)
+  mutable cur_loc : Loc.span;
+      (* span of the loop being vectorized: every synthesized
+         instruction inherits it so profiles attribute vector code to
+         the original loop's source line *)
   func_uses : (int, int) Hashtbl.t;  (* whole-function use counts *)
 }
+
+let vat ctx d = Mir.at ctx.cur_loc d
 
 let fresh ctx hint ty =
   let v = { Mir.vname = hint; vid = ctx.next_id; vty = ty } in
@@ -99,7 +105,7 @@ let block_uses (b : Mir.block) : (int, int) Hashtbl.t =
   let rec go b =
     List.iter
       (fun (i : Mir.instr) ->
-        match i with
+        match i.Mir.idesc with
         | Mir.Idef (_, rv) -> Masc_opt.Rewrite.iter_operands bump rv
         | Mir.Istore (arr, idx, v) ->
           bump (Mir.Ovar arr);
@@ -153,7 +159,7 @@ let analyze_body (l : Mir.loop) : analysis =
   let stores = ref [] in
   List.iter
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Icomment _ -> ()
       | Mir.Idef (v, rv) ->
         if Hashtbl.mem defs v.Mir.vid then raise Bail;
@@ -207,7 +213,7 @@ let emit_strip_mine ctx (l : Mir.loop) :
     let int_ty = Mir.Tscalar Mir.int_sty in
     let defi hint rv =
       let v = fresh ctx hint int_ty in
-      (Mir.Idef (v, rv), Mir.Ovar v)
+      (vat ctx (Mir.Idef (v, rv)), Mir.Ovar v)
     in
     let i1, n = defi "vn" (Mir.Rbin (Mir.Bsub, hi, lo)) in
     (* n here is hi - lo; trip count is n + 1 *)
@@ -244,7 +250,7 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
     | None ->
       let _ = instr_for ctx Isa.Kbroadcast in
       let v = fresh ctx "bc" (vec_sty w) in
-      emit (Mir.Idef (v, Mir.Rvbroadcast (op, w)));
+      emit (vat ctx (Mir.Idef (v, Mir.Rvbroadcast (op, w))));
       let o = Mir.Ovar v in
       Hashtbl.replace bcast_cache op o;
       o
@@ -275,7 +281,7 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
   in
   List.iter
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Icomment _ -> emit i
       | Mir.Idef (v, rv) when Hashtbl.mem a.index_ids v.Mir.vid ->
         (* Index computation stays scalar; it must not read data vars. *)
@@ -305,7 +311,8 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
           let d = instr_for ctx kind in
           let vx = data_operand x in
           emit
-            (Mir.Idef (vacc, Mir.Rintrin (d.Isa.iname, [ Mir.Ovar vacc; vx ])))
+            (vat ctx
+               (Mir.Idef (vacc, Mir.Rintrin (d.Isa.iname, [ Mir.Ovar vacc; vx ]))))
         | _ -> (
           match rv with
           | Mir.Rload (arr, idx) -> (
@@ -313,11 +320,11 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
             | Some aff when aff.Affine.coeff = 1 ->
               let _ = instr_for ctx Isa.Kload in
               let nv = fresh ctx "v" (vec_sty w) in
-              emit (Mir.Idef (nv, Mir.Rvload (arr, idx, w)));
+              emit (vat ctx (Mir.Idef (nv, Mir.Rvload (arr, idx, w))));
               Hashtbl.replace vmap v.Mir.vid (Mir.Ovar nv)
             | Some aff when aff.Affine.coeff = 0 ->
               let sv = fresh ctx "s" (Mir.Tscalar Mir.double_sty) in
-              emit (Mir.Idef (sv, rv));
+              emit (vat ctx (Mir.Idef (sv, rv)));
               Hashtbl.replace vmap v.Mir.vid (broadcast (Mir.Ovar sv))
             | Some _ | None -> raise Bail)
           | Mir.Rmove op -> Hashtbl.replace vmap v.Mir.vid (data_operand op)
@@ -328,7 +335,7 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
               let vp = data_operand p in
               let vq = data_operand q in
               let nv = fresh ctx "v" (vec_sty w) in
-              emit (Mir.Idef (nv, Mir.Rintrin (d.Isa.iname, [ vp; vq ])));
+              emit (vat ctx (Mir.Idef (nv, Mir.Rintrin (d.Isa.iname, [ vp; vq ]))));
               Hashtbl.replace vmap v.Mir.vid (Mir.Ovar nv)
             | None -> raise Bail)
           | Mir.Runop (Mir.Uneg, p) ->
@@ -336,7 +343,7 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
             let zero = broadcast (Mir.Oconst (Mir.Cf 0.0)) in
             let vp = data_operand p in
             let nv = fresh ctx "v" (vec_sty w) in
-            emit (Mir.Idef (nv, Mir.Rintrin (d.Isa.iname, [ zero; vp ])));
+            emit (vat ctx (Mir.Idef (nv, Mir.Rintrin (d.Isa.iname, [ zero; vp ]))));
             Hashtbl.replace vmap v.Mir.vid (Mir.Ovar nv)
           | Mir.Runop _ | Mir.Rmath _ | Mir.Rcomplex _ | Mir.Rvload _
           | Mir.Rvbroadcast _ | Mir.Rvreduce _ | Mir.Rintrin _ ->
@@ -346,7 +353,7 @@ let transform_body ctx (l : Mir.loop) (a : analysis)
         | Some aff when aff.Affine.coeff = 1 ->
           let _ = instr_for ctx Isa.Kstore in
           let vx = data_operand x in
-          emit (Mir.Ivstore (arr, idx, vx, w))
+          emit (vat ctx (Mir.Ivstore (arr, idx, vx, w)))
         | Some _ | None -> raise Bail)
       | Mir.Ivstore _ | Mir.Iif _ | Mir.Iloop _ | Mir.Iwhile _ | Mir.Ibreak
       | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ ->
@@ -372,16 +379,18 @@ let fuse_mac ctx (block : Mir.block) : Mir.block =
     in
     let uses = block_uses block in
     let rec go = function
-      | Mir.Idef (t, Mir.Rintrin (m, [ a; b ]))
-        :: Mir.Idef (acc, Mir.Rintrin (ad, [ Mir.Ovar accu; Mir.Ovar t' ]))
+      | { Mir.idesc = Mir.Idef (t, Mir.Rintrin (m, [ a; b ])); _ }
+        :: ({ Mir.idesc =
+                Mir.Idef (acc, Mir.Rintrin (ad, [ Mir.Ovar accu; Mir.Ovar t' ]));
+              _ } as i2)
         :: rest
         when String.equal m mul_name
              && String.equal ad add_name
              && t'.Mir.vid = t.Mir.vid
              && accu.Mir.vid = acc.Mir.vid
              && (try Hashtbl.find uses t.Mir.vid = 1 with Not_found -> false) ->
-        Mir.Idef
-          (acc, Mir.Rintrin (mac.Isa.iname, [ Mir.Ovar accu; a; b ]))
+        Mir.redesc i2
+          (Mir.Idef (acc, Mir.Rintrin (mac.Isa.iname, [ Mir.Ovar accu; a; b ])))
         :: go rest
       | i :: rest -> i :: go rest
       | [] -> []
@@ -400,13 +409,14 @@ let try_map_loop ctx (l : Mir.loop) : Mir.instr list option =
     let body' = transform_body ctx l a ~acc:None in
     let pre, main_hi, epi_lo = emit_strip_mine ctx l in
     let main =
-      Mir.Iloop
-        { l with
-          Mir.step = Mir.Oconst (Mir.Ci ctx.width);
-          hi = main_hi;
-          body = body' }
+      vat ctx
+        (Mir.Iloop
+           { l with
+             Mir.step = Mir.Oconst (Mir.Ci ctx.width);
+             hi = main_hi;
+             body = body' })
     in
-    let epilogue = Mir.Iloop { l with Mir.lo = epi_lo } in
+    let epilogue = vat ctx (Mir.Iloop { l with Mir.lo = epi_lo }) in
     pre @ [ main; epilogue ]
   with
   | instrs ->
@@ -442,7 +452,7 @@ let try_reduction_loop ctx (l : Mir.loop) : Mir.instr list option =
       let found = ref None in
       List.iter
         (fun (i : Mir.instr) ->
-          match i with
+          match i.Mir.idesc with
           | Mir.Idef (v, _) when v.Mir.vid = acc_vid -> found := Some v
           | _ -> ())
         l.Mir.body;
@@ -475,20 +485,22 @@ let try_reduction_loop ctx (l : Mir.loop) : Mir.instr list option =
     in
     let red_var = fresh ctx "red" (Mir.Tscalar Mir.double_sty) in
     let main =
-      Mir.Iloop
-        { l with
-          Mir.step = Mir.Oconst (Mir.Ci ctx.width);
-          hi = main_hi;
-          body = body' }
+      vat ctx
+        (Mir.Iloop
+           { l with
+             Mir.step = Mir.Oconst (Mir.Ci ctx.width);
+             hi = main_hi;
+             body = body' })
     in
     let combine =
-      Mir.Idef (acc_var, Mir.Rbin (op, Mir.Ovar acc_var, Mir.Ovar red_var))
+      vat ctx
+        (Mir.Idef (acc_var, Mir.Rbin (op, Mir.Ovar acc_var, Mir.Ovar red_var)))
     in
-    let epilogue = Mir.Iloop { l with Mir.lo = epi_lo } in
+    let epilogue = vat ctx (Mir.Iloop { l with Mir.lo = epi_lo }) in
     pre
-    @ [ Mir.Idef (vacc, init); main;
-        Mir.Idef (red_var, Mir.Rvreduce (vred, Mir.Ovar vacc)); combine;
-        epilogue ]
+    @ [ vat ctx (Mir.Idef (vacc, init)); main;
+        vat ctx (Mir.Idef (red_var, Mir.Rvreduce (vred, Mir.Ovar vacc)));
+        combine; epilogue ]
   with
   | instrs ->
     ctx.reds <- ctx.reds + 1;
@@ -505,9 +517,10 @@ let vectorizable_header (l : Mir.loop) =
 let rec process_block ctx (b : Mir.block) : Mir.block =
   List.concat_map
     (fun (i : Mir.instr) ->
-      match i with
+      match i.Mir.idesc with
       | Mir.Iloop l ->
         let l = { l with Mir.body = process_block ctx l.Mir.body } in
+        ctx.cur_loc <- i.Mir.iloc;
         if vectorizable_header l then begin
           ctx.missing <- None;
           match try_map_loop ctx l with
@@ -519,16 +532,17 @@ let rec process_block ctx (b : Mir.block) : Mir.block =
               (match ctx.missing with
               | Some kind -> note_missing ctx kind
               | None -> ());
-              [ Mir.Iloop l ])
+              [ Mir.redesc i (Mir.Iloop l) ])
         end
-        else [ Mir.Iloop l ]
+        else [ Mir.redesc i (Mir.Iloop l) ]
       | Mir.Iif (c, t, e) ->
-        [ Mir.Iif (c, process_block ctx t, process_block ctx e) ]
+        [ Mir.redesc i (Mir.Iif (c, process_block ctx t, process_block ctx e)) ]
       | Mir.Iwhile { cond_block; cond; body } ->
-        [ Mir.Iwhile
-            { cond_block = process_block ctx cond_block;
-              cond;
-              body = process_block ctx body } ]
+        [ Mir.redesc i
+            (Mir.Iwhile
+               { cond_block = process_block ctx cond_block;
+                 cond;
+                 body = process_block ctx body }) ]
       | Mir.Idef _ | Mir.Istore _ | Mir.Ivstore _ | Mir.Ibreak
       | Mir.Icontinue | Mir.Ireturn | Mir.Iprint _ | Mir.Icomment _ ->
         [ i ])
@@ -545,7 +559,8 @@ let run ?(sink = Diag.Raise) (isa : Isa.t) (func : Mir.func) :
     let ctx =
       { isa; width = isa.Isa.vector_width; sink; fname = func.Mir.name;
         next_id = max_id + 1; new_vars = []; maps = 0; reds = 0;
-        missing = None; func_uses = Masc_opt.Rewrite.use_counts func }
+        missing = None; cur_loc = Loc.dummy;
+        func_uses = Masc_opt.Rewrite.use_counts func }
     in
     let body = process_block ctx func.Mir.body in
     ( { func with Mir.body; vars = func.Mir.vars @ List.rev ctx.new_vars },

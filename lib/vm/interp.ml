@@ -55,14 +55,23 @@ type state = {
   floc : string;  (* simulated function name, for trap reports *)
   hist : (string, int) Hashtbl.t;
   out : Buffer.t;
+  prof : Masc_obs.Profile.t option;
 }
 
-let charge st cls cycles =
+(* Every charge names the source line it belongs to, so when profiling
+   is on the per-line and per-class attributions are exact partitions
+   of the total cycle count — no residue bucket, no sampling. *)
+let charge st line cls cycles =
   st.cycles <- st.cycles + cycles;
   st.dyn <- st.dyn + 1;
   (match Hashtbl.find_opt st.hist cls with
   | Some c -> Hashtbl.replace st.hist cls (c + cycles)
   | None -> Hashtbl.replace st.hist cls cycles);
+  (match st.prof with
+  | Some p ->
+    Masc_obs.Profile.add_line p line ~cycles ~instrs:1;
+    Masc_obs.Profile.add_class p cls ~cycles ~instrs:1
+  | None -> ());
   if st.dyn > st.fuel then
     raise
       (Exec.Trap
@@ -236,11 +245,16 @@ let eval_rvalue st (rv : Mir.rvalue) : Value.t =
 let rec exec_block st (block : Mir.block) = List.iter (exec_instr st) block
 
 and exec_instr st (instr : Mir.instr) =
-  match instr with
+  let line = Mir.line_of instr in
+  match instr.Mir.idesc with
   | Mir.Idef (v, rv) ->
     let value = eval_rvalue st rv in
     let cost = Cost.def_cost st.isa st.mode rv in
-    charge st (class_of_rvalue rv) cost;
+    charge st line (class_of_rvalue rv) cost;
+    (match (st.prof, rv) with
+    | Some p, Mir.Rintrin (name, _) ->
+      Masc_obs.Profile.add_intrin p name ~cycles:cost ~instrs:1
+    | _ -> ());
     let sty = Mir.elem_ty v in
     reg st v := coerce_value sty value
   | Mir.Istore (a, idx, x) ->
@@ -249,7 +263,7 @@ and exec_instr st (instr : Mir.instr) =
     let s = eval_scalar st x in
     let sty = Mir.elem_ty a in
     arr.(i) <- V.coerce sty s;
-    charge st "mem"
+    charge st line "mem"
       (Cost.store_cost st.isa st.mode
          ~cplx:(sty.Mir.cplx = Masc_sema.Mtype.Complex))
   | Mir.Ivstore (a, base, x, lanes) ->
@@ -263,9 +277,9 @@ and exec_instr st (instr : Mir.instr) =
       Array.iteri (fun k s -> arr.(b + k) <- V.coerce sty s) vec
     | Value.Vector _ -> fail "vector store width mismatch"
     | Value.Scalar _ -> fail "vector store of a scalar");
-    charge st "simd" (Cost.vstore_cost st.isa)
+    charge st line "simd" (Cost.vstore_cost st.isa)
   | Mir.Iif (c, then_b, else_b) ->
-    charge st "branch" (Cost.branch_cost st.isa);
+    charge st line "branch" (Cost.branch_cost st.isa);
     if V.to_bool (eval_scalar st c) then exec_block st then_b
     else exec_block st else_b
   | Mir.Iloop { ivar; lo; step; hi; body } ->
@@ -292,17 +306,17 @@ and exec_instr st (instr : Mir.instr) =
     let rec go v =
       if continue_loop v then begin
         iv := Value.Scalar v;
-        charge st "loop" (Cost.loop_iter_cost st.isa);
+        charge st line "loop" (Cost.loop_iter_cost st.isa);
         (try exec_block st body with Exec.Continue_exc -> ());
         go (next v)
       end
     in
     (try go lo_v with Exec.Break_exc -> ());
-    charge st "branch" (Cost.branch_cost st.isa)
+    charge st line "branch" (Cost.branch_cost st.isa)
   | Mir.Iwhile { cond_block; cond; body } ->
     let rec go () =
       exec_block st cond_block;
-      charge st "branch" (Cost.branch_cost st.isa);
+      charge st line "branch" (Cost.branch_cost st.isa);
       if V.to_bool (eval_scalar st cond) then begin
         (try exec_block st body with Exec.Continue_exc -> ());
         go ()
@@ -330,10 +344,10 @@ and exec_instr st (instr : Mir.instr) =
       Buffer.add_char st.out '\n')
   | Mir.Icomment text ->
     if String.length text >= 6 && String.sub text 0 6 = "inline" then
-      charge st "call" (Cost.call_boundary_cost st.isa st.mode)
+      charge st line "call" (Cost.call_boundary_cost st.isa st.mode)
 
 let run_tree ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
-    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) ~isa ~mode
+    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) ?profile ~isa ~mode
     (f : Mir.func) (args : xvalue list) : result =
   if List.length args <> List.length f.Mir.params then
     fail "%s expects %d arguments, received %d" f.Mir.name
@@ -343,7 +357,7 @@ let run_tree ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
   let st =
     { isa; mode; cells = Hashtbl.create 64; cycles = 0; dyn = 0; max_cycles;
       fuel; floc = f.Mir.name; hist = Hashtbl.create 16;
-      out = Buffer.create 256 }
+      out = Buffer.create 256; prof = profile }
   in
   List.iter2
     (fun (p : Mir.var) arg ->

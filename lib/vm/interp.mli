@@ -50,11 +50,15 @@ val run :
   result
 
 (** The legacy tree-walking interpreter (reference semantics); same
-    contract as {!run}, several times slower. *)
+    contract as {!run}, several times slower. [?profile] supplies a
+    collector that receives every cycle charge attributed per opcode
+    class, per intrinsic and per source line; per-line and per-class
+    sums equal [cycles] exactly. *)
 val run_tree :
   ?max_cycles:int ->
   ?fuel:int ->
   ?max_alloc_bytes:int ->
+  ?profile:Masc_obs.Profile.t ->
   isa:Masc_asip.Isa.t ->
   mode:Masc_asip.Cost_model.mode ->
   Masc_mir.Mir.func ->

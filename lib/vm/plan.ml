@@ -66,6 +66,9 @@ type state = {
   seen : bool array;  (* class id charged at least once *)
   mutable order : int list;  (* class ids, reverse first-charge order *)
   out : Buffer.t;
+  pcol : Masc_obs.Profile.t option;  (* profile collector, when profiling *)
+  pon : bool;  (* pcol <> None, pre-decided for the hot path *)
+  pcnt : int array;  (* dynamic instr count per class id, when profiling *)
 }
 
 let charge st cls cycles =
@@ -76,6 +79,8 @@ let charge st cls cycles =
     st.order <- cls :: st.order
   end;
   Array.unsafe_set st.hist cls (Array.unsafe_get st.hist cls + cycles);
+  if st.pon then
+    Array.unsafe_set st.pcnt cls (Array.unsafe_get st.pcnt cls + 1);
   if st.dyn > st.fuel then
     raise
       (Exec.Trap
@@ -105,6 +110,7 @@ type slot = Sreg of rslot | Sarr of aslot
 type env = {
   isa : Isa.t;
   mode : Cost.mode;
+  profile : bool;  (* compile per-instruction attribution wrappers in *)
   slots : (int, slot) Hashtbl.t;  (* vid -> slot *)
   cls_ids : (string, int) Hashtbl.t;
   mutable cls_rev : string list;  (* reversed interned class names *)
@@ -1554,7 +1560,51 @@ let rec compile_block env (block : Mir.block) : state -> unit =
       done
 
 and compile_instr env (instr : Mir.instr) : state -> unit =
-  match instr with
+  let f = compile_desc env instr.Mir.idesc in
+  if not env.profile then f
+  else begin
+    (* Per-instruction attribution wrapper, compiled in only for
+       profiled plans so the normal hot path carries zero residue.
+       Self cost = this instruction's charge delta minus whatever inner
+       (nested) wrappers already attributed, tracked through the
+       collector's [attr_*] running totals; recorded on the exception
+       path too, so breaks, returns and traps leave per-line sums equal
+       to the engine's cycle total. *)
+    let line = Mir.line_of instr in
+    let intrin =
+      match instr.Mir.idesc with
+      | Mir.Idef (_, Mir.Rintrin (name, _)) -> Some name
+      | _ -> None
+    in
+    fun st ->
+      match st.pcol with
+      | None -> f st
+      | Some col ->
+        let c0 = st.cycles and d0 = st.dyn in
+        let a0 = col.Masc_obs.Profile.attr_cycles
+        and ad0 = col.Masc_obs.Profile.attr_instrs in
+        let fin () =
+          let tc = st.cycles - c0 and td = st.dyn - d0 in
+          let self_c = tc - (col.Masc_obs.Profile.attr_cycles - a0)
+          and self_d = td - (col.Masc_obs.Profile.attr_instrs - ad0) in
+          Masc_obs.Profile.add_line col line ~cycles:self_c ~instrs:self_d;
+          (match intrin with
+          | Some name ->
+            Masc_obs.Profile.add_intrin col name ~cycles:self_c
+              ~instrs:self_d
+          | None -> ());
+          col.Masc_obs.Profile.attr_cycles <- a0 + tc;
+          col.Masc_obs.Profile.attr_instrs <- ad0 + td
+        in
+        (match f st with
+        | () -> fin ()
+        | exception e ->
+          fin ();
+          raise e)
+  end
+
+and compile_desc env (desc : Mir.instr_desc) : state -> unit =
+  match desc with
   | Mir.Idef (v, rv) -> (
     let prod = compile_rvalue env rv in
     let cls = class_id env (Cost.class_of_rvalue rv) in
@@ -2113,10 +2163,11 @@ type t = {
   cspecs : aspec array;
   classes : string array;  (* interned class id -> name *)
   abytes : int;  (* static array footprint, for the allocation cap *)
+  profiled : bool;  (* attribution wrappers compiled in *)
   body_fn : state -> unit;
 }
 
-let compile ~isa ~mode (f : Mir.func) : t =
+let compile ?(profile = false) ~isa ~mode (f : Mir.func) : t =
   (* Variable collection pre-pass: params, rets, declared vars, then a
      defensive body walk (the tree-walker materializes cells lazily for
      any vid it meets, so the plan must cover the same set). *)
@@ -2148,7 +2199,8 @@ let compile ~isa ~mode (f : Mir.func) : t =
       scan_op base
   in
   let rec scan_block b = List.iter scan_instr b
-  and scan_instr = function
+  and scan_instr i =
+    match i.Mir.idesc with
     | Mir.Idef (v, rv) ->
       add v;
       scan_rvalue rv
@@ -2243,7 +2295,8 @@ let compile ~isa ~mode (f : Mir.func) : t =
       | _ -> `X)
   in
   let rec demote_block b = List.iter demote_instr b
-  and demote_instr = function
+  and demote_instr i =
+    match i.Mir.idesc with
     | Mir.Idef (v, rv) -> (
       match Hashtbl.find_opt kinds v.Mir.vid with
       | Some (KF | KI | KB | KC) when rv_pv rv -> demote v.Mir.vid
@@ -2349,7 +2402,8 @@ let compile ~isa ~mode (f : Mir.func) : t =
         Hashtbl.add slots v.Mir.vid (Sarr { bank; aidx = idx; alen = n }))
     vars;
   let env =
-    { isa; mode; slots; cls_ids = Hashtbl.create 16; cls_rev = []; ncls = 0;
+    { isa; mode; profile; slots;
+      cls_ids = Hashtbl.create 16; cls_rev = []; ncls = 0;
       nfx = !nf; nix = !ni; nbx = !nb; ncx = !nc;
       fdedup = Hashtbl.create 16; idedup = Hashtbl.create 16;
       bdedup = Hashtbl.create 4; cdedup = Hashtbl.create 8;
@@ -2385,14 +2439,19 @@ let compile ~isa ~mode (f : Mir.func) : t =
     cspecs = Array.of_list (List.rev !csp);
     classes = Array.of_list (List.rev env.cls_rev);
     abytes = Exec.array_bytes_of_func f;
+    profiled = profile;
     body_fn }
 
 let execute ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
-    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) (p : t)
+    ?(max_alloc_bytes = Exec.default_max_alloc_bytes) ?profile (p : t)
     (args : xvalue list) : result =
   if List.length args <> p.nparams then
     fail "%s expects %d arguments, received %d" p.fname p.nparams
       (List.length args);
+  if profile <> None && not p.profiled then
+    invalid_arg
+      "Plan.execute: profile collector passed to a plan compiled without \
+       ~profile:true";
   Exec.check_alloc ~loc:p.fname ~cap_bytes:max_alloc_bytes p.abytes;
   let ncls = Array.length p.classes in
   (* Fresh typed state. Unwritten registers read as the zero of their
@@ -2430,7 +2489,10 @@ let execute ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
       hist = Array.make ncls 0;
       seen = Array.make ncls false;
       order = [];
-      out = Buffer.create 256 }
+      out = Buffer.create 256;
+      pcol = profile;
+      pon = profile <> None;
+      pcnt = (if profile = None then [||] else Array.make ncls 0) }
   in
   Array.iter (fun (i, v) -> st.fregs.(i) <- v) p.finit;
   Array.iter (fun (i, v) -> st.iregs.(i) <- v) p.iinit;
@@ -2466,7 +2528,24 @@ let execute ?(max_cycles = 4_000_000_000) ?(fuel = Exec.default_fuel)
       | Bscalar (_, _, name), Xarray _ | Barray (_, name), Xscalar _ ->
         fail "argument %s: scalar/array mismatch" name)
     p.binds args;
-  (try p.body_fn st with Return_exc -> ());
+  (* Per-class attribution comes from the interned histogram plus the
+     profiling instr counters; flushed on the trap path too so the
+     collector stays consistent with [st.cycles] however the run ends. *)
+  let flush_profile () =
+    match st.pcol with
+    | None -> ()
+    | Some col ->
+      Array.iteri
+        (fun c cycles ->
+          Masc_obs.Profile.add_class col p.classes.(c) ~cycles
+            ~instrs:st.pcnt.(c))
+        st.hist
+  in
+  (try (try p.body_fn st with Return_exc -> ())
+   with e ->
+     flush_profile ();
+     raise e);
+  flush_profile ();
   let rets =
     List.map
       (function

@@ -27,14 +27,28 @@ type t
     (linear in the static instruction count); never raises for programs
     that the tree-walker could start executing — dynamic failures
     (missing intrinsics, bad indices, type misuse) stay runtime errors
-    raised at the same execution point as in the tree-walker. *)
+    raised at the same execution point as in the tree-walker.
+
+    [~profile:true] additionally compiles per-instruction attribution
+    wrappers into the closure tree, enabling source-line profiling via
+    [execute ?profile]. Simulated results (cycles, histogram, returns)
+    are unaffected; only wall-clock speed. The default plan carries no
+    profiling residue at all. *)
 val compile :
+  ?profile:bool ->
   isa:Masc_asip.Isa.t -> mode:Masc_asip.Cost_model.mode -> Masc_mir.Mir.func ->
   t
 
 (** [execute p args] runs the plan on fresh state. Argument binding,
     defaults and failure modes match {!Interp.run} exactly, including
-    the {!Exec.Trap} guardrails (fuel, cycle limit, allocation cap). *)
+    the {!Exec.Trap} guardrails (fuel, cycle limit, allocation cap).
+
+    [?profile] supplies a collector that receives simulated cycles and
+    dynamic instruction counts attributed per opcode class, per
+    intrinsic, and per source line (exact partitions of the totals —
+    same contract as {!Interp.run_tree}). Requires a plan compiled with
+    [~profile:true]; raises [Invalid_argument] otherwise. *)
 val execute :
-  ?max_cycles:int -> ?fuel:int -> ?max_alloc_bytes:int -> t ->
+  ?max_cycles:int -> ?fuel:int -> ?max_alloc_bytes:int ->
+  ?profile:Masc_obs.Profile.t -> t ->
   Exec.xvalue list -> Exec.result

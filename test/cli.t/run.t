@@ -109,3 +109,55 @@ Usage mistakes exit with code 2, distinct from source diagnostics:
   $ mascc compile bad.m --entry f --args "quux"
   mascc: unknown base type 'quux' (use double, complex, int, bool)
   [2]
+
+Telemetry. --profile prints a per-source-line cycle attribution on
+stdout; the per-line, per-class and per-intrinsic sums each equal the
+simulator's cycle total exactly:
+
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" --profile | sed -n '/^profile:/,$p'
+  profile: 1285 cycles, 989 instructions
+  
+  -- hot lines --
+      4         29 cy       19 in   2.3% |                    | y = zeros(1, n - m + 1);
+      5        116 cy       58 in   9.0% |##                  | for i = 1:n-m+1
+      6          0 cy       57 in   0.0% |                    | acc = 0;
+      7        798 cy      513 in  62.1% |############        | for k = 1:m
+      8        228 cy      228 in  17.7% |####                | acc = acc + h(k) * x(i + k - 1);
+     10        114 cy      114 in   8.9% |##                  | y(i) = acc;
+  
+  -- opcode classes --
+  simd                  407 cy      293 in  31.7%
+  alu                   342 cy      342 in  26.6%
+  loop                  244 cy      122 in  19.0%
+  branch                234 cy      117 in  18.2%
+  mem                    58 cy       58 in   4.5%
+  move                    0 cy       57 in   0.0%
+  
+  -- intrinsics --
+  vmac_f64x8             57 cy       57 in   4.4%
+
+The profile JSON export, the Chrome trace and the metrics dump leave
+stdout alone (status goes to stderr, data to files):
+
+  $ mascc run fir_filter.m --args "double:1x64,double:1x8" --profile-json fir_prof.json --trace fir_trace.json --metrics >/dev/null 2>telemetry.err
+  $ grep -c '"total_cycles":1285' fir_prof.json
+  1
+  $ head -c 15 fir_trace.json; echo
+  {"traceEvents":
+  $ grep -q '"ph":"X"' fir_trace.json && echo has-complete-events
+  has-complete-events
+  $ grep -E 'counter    (compile.runs|sim.profiled_runs)' telemetry.err | awk '{print $2, $3}'
+  compile.runs 1
+  sim.profiled_runs 1
+
+MASC_TIME_STAGES still works as an alias for span echoing, one line
+per completed stage on stderr:
+
+  $ MASC_TIME_STAGES=1 mascc compile fir_filter.m --args "double:1x64,double:1x8" -o fir_t.c >/dev/null 2>stages.err
+  $ grep '\[masc-time\] stage' stages.err | awk '{print $3}'
+  infer
+  lower
+  optimize
+  vectorize
+  complex-sel
+  cleanup

@@ -1,0 +1,365 @@
+(* Telemetry-layer tests: tracing spans, the metrics registry, the
+   profile collector, and the profiler differential — both simulator
+   engines must attribute every simulated cycle identically, and the
+   attributions must partition the engine totals exactly. *)
+
+module Obs = Masc_obs
+module C = Masc.Compiler
+module I = Masc_vm.Interp
+module Plan = Masc_vm.Plan
+module K = Masc_kernels.Kernels
+
+(* ---- minimal JSON syntax checker ----
+
+   Enough of RFC 8259 to catch malformed emitter output (unbalanced
+   structure, unescaped strings, trailing commas) without a json
+   dependency: a recursive-descent parser that validates and discards. *)
+
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else failwith "unexpected char"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> failwith "bad value"
+  and literal lit =
+    String.iter expect lit
+  and number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then failwith "empty number"
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> failwith "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> failwith "bad \\u escape"
+          done
+        | _ -> failwith "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> failwith "raw control char"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | Some '}' -> advance ()
+        | _ -> failwith "bad object"
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elements ()
+        | Some ']' -> advance ()
+        | _ -> failwith "bad array"
+      in
+      elements ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | b -> b
+  | exception Failure _ -> false
+
+let find_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains ~sub s = find_sub ~sub s <> None
+
+(* ---- tracing ---- *)
+
+let test_trace_spans () =
+  Obs.Trace.enable ();
+  Obs.Trace.reset ();
+  let r =
+    Obs.Trace.span ~cat:"stage" "outer" (fun () ->
+        Obs.Trace.span ~cat:"pass" "inner" (fun () -> 41 + 1))
+  in
+  Alcotest.(check int) "span returns the value" 42 r;
+  (try
+     Obs.Trace.span "raiser" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let evs = Obs.Trace.dump () in
+  Alcotest.(check int) "three completed spans" 3 (List.length evs);
+  let by_name name =
+    List.find (fun (e : Obs.Trace.event) -> e.Obs.Trace.name = name) evs
+  in
+  (* children complete before parents *)
+  Alcotest.(check int) "inner depth" 1 (by_name "inner").Obs.Trace.depth;
+  Alcotest.(check int) "outer depth" 0 (by_name "outer").Obs.Trace.depth;
+  Alcotest.(check int) "raiser recorded despite the exception" 0
+    (by_name "raiser").Obs.Trace.depth;
+  Alcotest.(check bool) "inner nested inside outer" true
+    ((by_name "inner").Obs.Trace.dur_ns <= (by_name "outer").Obs.Trace.dur_ns)
+
+let test_trace_chrome_json () =
+  Obs.Trace.enable ();
+  Obs.Trace.reset ();
+  Obs.Trace.span ~cat:"stage" ~args:[ ("file", "a\"b.m") ] "esc\"aped"
+    (fun () -> ());
+  let js = Obs.Trace.chrome_json () in
+  Alcotest.(check bool) "chrome trace is valid JSON" true (json_valid js);
+  Alcotest.(check bool) "has traceEvents" true
+    (contains ~sub:"\"traceEvents\"" js);
+  Alcotest.(check bool) "complete events" true
+    (contains ~sub:"\"ph\":\"X\"" js);
+  Alcotest.(check bool) "escapes quotes" true
+    (contains ~sub:"esc\\\"aped" js)
+
+let test_trace_summary () =
+  Obs.Trace.enable ();
+  Obs.Trace.reset ();
+  for _ = 1 to 3 do
+    Obs.Trace.span ~cat:"stage" "compile" (fun () ->
+        Obs.Trace.span ~cat:"pass" "dce" (fun () -> ()))
+  done;
+  let s = Obs.Trace.summary () in
+  Alcotest.(check bool) "root present" true (contains ~sub:"stage:compile" s);
+  Alcotest.(check bool) "child indented under root" true
+    (contains ~sub:"  pass:dce" s);
+  Alcotest.(check bool) "counts merged" true (contains ~sub:"x3" s)
+
+(* ---- metrics ---- *)
+
+let test_metrics () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr "a.count";
+  Obs.Metrics.incr "a.count" ~by:4;
+  Obs.Metrics.set "b.gauge" 2.5;
+  Obs.Metrics.observe "c.hist" 1.0;
+  Obs.Metrics.observe "c.hist" 3.0;
+  Alcotest.(check (option (float 0.0))) "counter" (Some 5.0)
+    (Obs.Metrics.get "a.count");
+  Alcotest.(check (option (float 0.0))) "gauge" (Some 2.5)
+    (Obs.Metrics.get "b.gauge");
+  Alcotest.(check (option (float 0.0))) "histogram sum" (Some 4.0)
+    (Obs.Metrics.get "c.hist");
+  Alcotest.(check (option (float 0.0))) "absent" None
+    (Obs.Metrics.get "nope");
+  let text = Obs.Metrics.dump_text () in
+  Alcotest.(check bool) "text has counter line" true
+    (contains ~sub:"counter" text && contains ~sub:"a.count" text);
+  Alcotest.(check bool) "histogram stats" true
+    (contains ~sub:"n=2" text && contains ~sub:"min=1" text
+    && contains ~sub:"max=3" text);
+  (* name-sorted: a.count before b.gauge before c.hist *)
+  (match (find_sub ~sub:"a.count" text, find_sub ~sub:"c.hist" text) with
+  | Some ia, Some ic ->
+    Alcotest.(check bool) "sorted by name" true (ia < ic)
+  | _ -> Alcotest.fail "expected both metrics in the text dump");
+  let js = Obs.Metrics.dump_json () in
+  Alcotest.(check bool) "metrics JSON valid" true (json_valid js);
+  Alcotest.(check bool) "json counter shape" true
+    (contains ~sub:"{\"type\":\"counter\",\"value\":5}" js);
+  Obs.Metrics.reset ();
+  Alcotest.(check (option (float 0.0))) "reset clears" None
+    (Obs.Metrics.get "a.count")
+
+(* ---- profile collector ---- *)
+
+let test_profile_snapshot_render () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.add_line p 3 ~cycles:75 ~instrs:10;
+  Obs.Profile.add_line p 1 ~cycles:25 ~instrs:5;
+  Obs.Profile.add_line p 0 ~cycles:0 ~instrs:2;
+  Obs.Profile.add_class p "alu" ~cycles:60 ~instrs:12;
+  Obs.Profile.add_class p "mem" ~cycles:40 ~instrs:5;
+  Obs.Profile.add_intrin p "vmac_f64x8" ~cycles:30 ~instrs:3;
+  let snap = Obs.Profile.snapshot p ~total_cycles:100 ~total_instrs:17 in
+  Alcotest.(check (list (triple int int int)))
+    "by_line ascending" [ (0, 0, 2); (1, 25, 5); (3, 75, 10) ] snap.by_line;
+  Alcotest.(check (list string))
+    "by_class cycles-descending" [ "alu"; "mem" ]
+    (List.map (fun (r : Obs.Profile.row) -> r.Obs.Profile.key)
+       snap.by_class);
+  let report = Obs.Profile.render ~source:"l1\nl2\nl3\n" snap in
+  Alcotest.(check bool) "header totals" true
+    (contains ~sub:"100 cycles" report);
+  Alcotest.(check bool) "annotates source text" true
+    (contains ~sub:"l3" report);
+  Alcotest.(check bool) "synthetic bucket labeled" true
+    (contains ~sub:"<synthetic>" report);
+  Alcotest.(check bool) "bar for the hot line" true
+    (contains ~sub:"###############" report);
+  let js = Obs.Profile.to_json snap in
+  Alcotest.(check bool) "profile JSON valid" true (json_valid js);
+  Alcotest.(check bool) "json lines array" true
+    (contains ~sub:"\"lines\":[" js)
+
+(* ---- profiler differential: tree vs plan, sums vs totals ---- *)
+
+let check_partitions name (r : I.result) (snap : Obs.Profile.snapshot) =
+  let line_cy =
+    List.fold_left (fun a (_, c, _) -> a + c) 0 snap.Obs.Profile.by_line
+  and line_in =
+    List.fold_left (fun a (_, _, i) -> a + i) 0 snap.Obs.Profile.by_line
+  and class_cy =
+    List.fold_left
+      (fun a (row : Obs.Profile.row) -> a + row.Obs.Profile.cycles)
+      0 snap.Obs.Profile.by_class
+  and class_in =
+    List.fold_left
+      (fun a (row : Obs.Profile.row) -> a + row.Obs.Profile.instrs)
+      0 snap.Obs.Profile.by_class
+  in
+  Alcotest.(check int)
+    (name ^ ": per-line cycles sum = engine total")
+    r.I.cycles line_cy;
+  Alcotest.(check int)
+    (name ^ ": per-line instrs sum = engine total")
+    r.I.dyn_instrs line_in;
+  Alcotest.(check int)
+    (name ^ ": per-class cycles sum = engine total")
+    r.I.cycles class_cy;
+  Alcotest.(check int)
+    (name ^ ": per-class instrs sum = engine total")
+    r.I.dyn_instrs class_in
+
+let profile_tree ~isa ~mode mir inputs =
+  let p = Obs.Profile.create () in
+  let r = I.run_tree ~profile:p ~isa ~mode mir inputs in
+  (r, Obs.Profile.snapshot p ~total_cycles:r.I.cycles
+        ~total_instrs:r.I.dyn_instrs)
+
+let profile_plan ~isa ~mode mir inputs =
+  let p = Obs.Profile.create () in
+  let plan = Plan.compile ~profile:true ~isa ~mode mir in
+  let r = Plan.execute ~profile:p plan inputs in
+  (r, Obs.Profile.snapshot p ~total_cycles:r.I.cycles
+        ~total_instrs:r.I.dyn_instrs)
+
+let test_profile_differential () =
+  List.iter
+    (fun (k : K.kernel) ->
+      List.iter
+        (fun (config, tag) ->
+          let compiled =
+            C.compile config ~source:k.K.source ~entry:k.K.entry
+              ~arg_types:k.K.arg_types
+          in
+          let name = Printf.sprintf "%s/%s" k.K.kname tag in
+          let inputs = k.K.inputs () in
+          let isa = config.C.isa and mode = config.C.mode in
+          let rt, st = profile_tree ~isa ~mode compiled.C.mir inputs in
+          let rp, sp = profile_plan ~isa ~mode compiled.C.mir inputs in
+          Alcotest.(check int) (name ^ ": engines agree on cycles")
+            rt.I.cycles rp.I.cycles;
+          Alcotest.(check int) (name ^ ": engines agree on instrs")
+            rt.I.dyn_instrs rp.I.dyn_instrs;
+          check_partitions (name ^ "/tree") rt st;
+          check_partitions (name ^ "/plan") rp sp;
+          Alcotest.(check bool) (name ^ ": identical per-line profiles")
+            true
+            (st.Obs.Profile.by_line = sp.Obs.Profile.by_line);
+          Alcotest.(check bool) (name ^ ": identical per-class profiles")
+            true
+            (st.Obs.Profile.by_class = sp.Obs.Profile.by_class);
+          Alcotest.(check bool) (name ^ ": identical intrinsic profiles")
+            true
+            (st.Obs.Profile.by_intrin = sp.Obs.Profile.by_intrin))
+        [ (C.proposed (), "proposed"); (C.coder_baseline (), "coder") ])
+    (K.all ())
+
+(* Profiling must not perturb the simulation: same cycles, histogram
+   and returns with and without a collector attached. *)
+let test_profiling_is_transparent () =
+  let k = K.fir () in
+  let config = C.proposed () in
+  let compiled =
+    C.compile config ~source:k.K.source ~entry:k.K.entry
+      ~arg_types:k.K.arg_types
+  in
+  let inputs = k.K.inputs () in
+  let plain = C.run compiled inputs in
+  let profiled, snap = C.run_profiled compiled inputs in
+  Alcotest.(check int) "cycles unchanged" plain.I.cycles profiled.I.cycles;
+  Alcotest.(check int) "instrs unchanged" plain.I.dyn_instrs
+    profiled.I.dyn_instrs;
+  Alcotest.(check bool) "histogram unchanged" true
+    (plain.I.histogram = profiled.I.histogram);
+  Alcotest.(check bool) "returns unchanged" true
+    (plain.I.rets = profiled.I.rets);
+  Alcotest.(check int) "snapshot total matches run" profiled.I.cycles
+    snap.Obs.Profile.total_cycles
+
+let suites =
+  [ ( "obs",
+      [ Alcotest.test_case "trace spans" `Quick test_trace_spans;
+        Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+        Alcotest.test_case "trace summary" `Quick test_trace_summary;
+        Alcotest.test_case "metrics registry" `Quick test_metrics;
+        Alcotest.test_case "profile snapshot and render" `Quick
+          test_profile_snapshot_render;
+        Alcotest.test_case "profiling is transparent" `Quick
+          test_profiling_is_transparent ] );
+    ( "profiler differential",
+      [ Alcotest.test_case "tree vs plan attribution" `Slow
+          test_profile_differential ] ) ]

@@ -16,7 +16,9 @@ let instr_count f =
 
 let count_matching pred f =
   let n = ref 0 in
-  Masc_opt.Rewrite.iter_instrs (fun i -> if pred i then incr n) f;
+  Masc_opt.Rewrite.iter_instrs
+    (fun (i : Mir.instr) -> if pred i.Mir.idesc then incr n)
+    f;
   !n
 
 let run_scalar f inputs =
@@ -107,7 +109,7 @@ let test_licm_hoists () =
   let rec scan in_l block =
     List.iter
       (fun (i : Mir.instr) ->
-        match i with
+        match i.Mir.idesc with
         | Mir.Idef (_, Mir.Rbin (Mir.Bmul, _, Mir.Oconst (Mir.Ci 3)))
         | Mir.Idef (_, Mir.Rbin (Mir.Bmul, Mir.Oconst (Mir.Ci 3), _)) ->
           if in_l then incr in_loop
@@ -131,7 +133,8 @@ let test_global_const () =
   (* the loop bound must be the literal 24 after propagation *)
   let const_bound = ref false in
   Masc_opt.Rewrite.iter_instrs
-    (function
+    (fun (i : Mir.instr) ->
+      match i.Mir.idesc with
       | Mir.Iloop { hi = Mir.Oconst (Mir.Ci 24); _ } -> const_bound := true
       | _ -> ())
     f';

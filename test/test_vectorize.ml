@@ -143,7 +143,8 @@ let test_width_respected () =
       (* Find a vector load and check its lane count. *)
       let lanes = ref 0 in
       Masc_opt.Rewrite.iter_instrs
-        (function
+        (fun (i : Mir.instr) ->
+          match i.Mir.idesc with
           | Mir.Idef (_, Mir.Rvload (_, _, l)) -> lanes := max !lanes l
           | _ -> ())
         vectorized;
@@ -164,7 +165,8 @@ let test_scalar_target_unchanged () =
 let count_intrins prefix f =
   let n = ref 0 in
   Masc_opt.Rewrite.iter_instrs
-    (function
+    (fun (i : Mir.instr) ->
+      match i.Mir.idesc with
       | Mir.Idef (_, Mir.Rintrin (name, _))
         when String.length name >= String.length prefix
              && String.sub name 0 (String.length prefix) = prefix ->

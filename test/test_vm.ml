@@ -75,9 +75,10 @@ let hand_built_vector_function () =
   let v1 = { Mir.vname = "v"; vid = 2; vty = vec_ty } in
   let v2 = { Mir.vname = "w"; vid = 3; vty = vec_ty } in
   let body =
-    [ Mir.Idef (v1, Mir.Rvload (arr, Mir.Oconst (Mir.Ci 0), 8));
-      Mir.Idef (v2, Mir.Rintrin ("vadd_f64x8", [ Mir.Ovar v1; Mir.Ovar v1 ]));
-      Mir.Ivstore (out, Mir.Oconst (Mir.Ci 0), Mir.Ovar v2, 8) ]
+    List.map Mir.instr
+      [ Mir.Idef (v1, Mir.Rvload (arr, Mir.Oconst (Mir.Ci 0), 8));
+        Mir.Idef (v2, Mir.Rintrin ("vadd_f64x8", [ Mir.Ovar v1; Mir.Ovar v1 ]));
+        Mir.Ivstore (out, Mir.Oconst (Mir.Ci 0), Mir.Ovar v2, 8) ]
   in
   { Mir.name = "vecfn"; params = [ arr ]; rets = [ out ];
     vars = [ arr; out; v1; v2 ]; body }
@@ -110,7 +111,7 @@ let test_bounds_checking () =
   let y = { Mir.vname = "y"; vid = 1; vty = Mir.Tscalar Mir.double_sty } in
   let f =
     { Mir.name = "oob"; params = [ arr ]; rets = [ y ]; vars = [ arr; y ];
-      body = [ Mir.Idef (y, Mir.Rload (arr, Mir.Oconst (Mir.Ci 9))) ] }
+      body = [ Mir.instr (Mir.Idef (y, Mir.Rload (arr, Mir.Oconst (Mir.Ci 9)))) ] }
   in
   let input = I.xarray_of_floats [| 1.; 2.; 3.; 4. |] in
   match I.run ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [ input ] with
@@ -126,10 +127,14 @@ let test_cycle_budget () =
   let f =
     { Mir.name = "spin"; params = []; rets = [ y ]; vars = [ y; cond ];
       body =
-        [ Mir.Iwhile
-            { cond_block = [ Mir.Idef (cond, Mir.Rmove (Mir.Oconst (Mir.Cb true))) ];
-              cond = Mir.Ovar cond;
-              body = [ Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar y, Mir.Oconst (Mir.Cf 1.0))) ] } ] }
+        [ Mir.instr
+            (Mir.Iwhile
+               { cond_block =
+                   [ Mir.instr (Mir.Idef (cond, Mir.Rmove (Mir.Oconst (Mir.Cb true)))) ];
+                 cond = Mir.Ovar cond;
+                 body =
+                   [ Mir.instr
+                       (Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar y, Mir.Oconst (Mir.Cf 1.0)))) ] }) ] }
   in
   (match I.run ~max_cycles:10_000 ~isa:T.scalar ~mode:Masc_asip.Cost_model.Proposed f [] with
   | exception Masc_vm.Exec.Trap { kind = Masc_vm.Exec.Cycle_limit { max_cycles }; loc; steps_executed } ->
@@ -176,14 +181,15 @@ let test_verify_catches_breakage () =
   let bad_cases =
     [ (* array used as scalar operand *)
       { Mir.name = "bad1"; params = [ arr ]; rets = [ y ]; vars = [ arr; y ];
-        body = [ Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar arr, Mir.Oconst (Mir.Cf 1.0))) ] };
+        body = [ Mir.instr (Mir.Idef (y, Mir.Rbin (Mir.Badd, Mir.Ovar arr, Mir.Oconst (Mir.Cf 1.0)))) ] };
       (* undeclared variable *)
       { Mir.name = "bad2"; params = []; rets = [ y ]; vars = [ y ];
         body =
-          [ Mir.Idef (y, Mir.Rmove (Mir.Ovar { Mir.vname = "ghost"; vid = 99; vty = Mir.Tscalar Mir.double_sty })) ] };
+          [ Mir.instr
+              (Mir.Idef (y, Mir.Rmove (Mir.Ovar { Mir.vname = "ghost"; vid = 99; vty = Mir.Tscalar Mir.double_sty }))) ] };
       (* break outside loop *)
       { Mir.name = "bad3"; params = []; rets = [ y ]; vars = [ y ];
-        body = [ Mir.Ibreak ] } ]
+        body = [ Mir.instr Mir.Ibreak ] } ]
   in
   List.iter
     (fun f ->
