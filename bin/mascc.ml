@@ -3,6 +3,9 @@
    Subcommands:
      compile   FILE.m -> ANSI C with ASIP intrinsics (+ runtime header)
      run       compile and execute on the cycle-accounting simulator
+     batch     execute newline-framed compile/run requests through the
+               fault-tolerant service core (deadlines, retries,
+               quarantine, persistent cache)
      targets   list built-in target descriptions
      kernels   list the bundled benchmark kernels
 
@@ -25,12 +28,34 @@ module Diag = Masc_frontend.Diag
 module MT = Masc_sema.Mtype
 module I = Masc_vm.Interp
 module V = Masc_vm.Value
+module Req = Masc_svc.Request
+module Batch = Masc_svc.Batch
 
 (* Usage-class failures (bad flag values, nonsensical flag
    combinations): exit code 2, distinct from source diagnostics. *)
 exception Usage of string
 
 let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
+
+(* A consumer closing the pipe early (mascc ... | head) must end the
+   process cleanly, not as an unhandled Sys_error: SIGPIPE is ignored
+   so writes fail with EPIPE instead of killing the process, and the
+   resulting Sys_error is recognized below. *)
+let () =
+  if Sys.os_type = "Unix" then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ -> ()
+
+let is_epipe msg =
+  (* Sys_error carries strerror text: "Broken pipe" on every libc we
+     target; match loosely to stay locale-proof on the errno name. *)
+  let lower = String.lowercase_ascii msg in
+  let has sub =
+    let n = String.length sub and m = String.length lower in
+    let rec at i = i + n <= m && (String.sub lower i n = sub || at (i + 1)) in
+    at 0
+  in
+  has "broken pipe" || has "epipe"
 
 let parse_arg_spec (spec : string) : MT.t list =
   if String.trim spec = "" then []
@@ -83,7 +108,15 @@ let write_file path content =
 
 let resolve_target name isa_file =
   match isa_file with
-  | Some path -> Masc_asip.Isa_parser.parse_file path
+  | Some path -> (
+    (* A truncated or garbage .isa file is a usage-class mistake, like
+       an unknown --target: report with file/line and exit 2, instead
+       of letting the Diag escape as a source-diagnostics exit 1. *)
+    match Masc_asip.Isa_parser.parse_file path with
+    | isa -> isa
+    | exception Diag.Error (_, span, msg) ->
+      usage "%s:%d: %s" path span.Masc_frontend.Loc.start_pos.line msg
+    | exception Sys_error msg -> usage "%s" msg)
   | None -> (
     match Masc_asip.Targets.by_name name with
     | Some t -> t
@@ -102,6 +135,17 @@ let config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex =
       vectorize = not no_vectorize;
       select_complex = not no_complex }
 
+(* Shared service knobs (--cache-dir, --compile-timeout): the
+   persistent cache tier and a cooperative per-work-item wall-clock
+   deadline. The deadline is installed on the domain running the work
+   item, so it composes with --jobs. *)
+let install_cache_dir dir = if dir <> None then C.set_cache_dir dir
+
+let with_compile_timeout ms f =
+  match ms with
+  | None -> f ()
+  | Some ms -> Masc_fault.Cancel.with_deadline ~ms f
+
 (* The phase the driver is in when an unexpected exception escapes —
    named in the internal-compiler-error report. *)
 let current_phase = ref "startup"
@@ -110,9 +154,16 @@ let rec handle_exn = function
   | Usage msg ->
     Printf.eprintf "mascc: %s\n" msg;
     exit 2
+  | Sys_error msg when is_epipe msg ->
+    (* Output consumer went away; nothing useful left to write. *)
+    (try flush stderr with Sys_error _ -> ());
+    exit 1
   | Sys_error msg ->
     Printf.eprintf "mascc: %s\n" msg;
     exit 2
+  | Masc_fault.Cancel.Deadline_exceeded { budget_ms } ->
+    Printf.eprintf "mascc: deadline exceeded (budget %gms)\n" budget_ms;
+    exit 1
   | Masc_frontend.Diag.Error _ as e ->
     (* raise-first paths that bypass the accumulating driver *)
     Printf.eprintf "error: %s\n" (Masc_frontend.Diag.to_string e);
@@ -204,12 +255,13 @@ let vec_note (compiled : C.compiled) =
 
 let do_compile files entry args_spec target isa_file opt_level coder
     no_vectorize no_complex output emit_header dump_stages opt_stats jobs
-    diag_fmt werror trace metrics =
+    cache_dir timeout diag_fmt werror trace metrics =
   handle_errors @@ fun () ->
   setup_telemetry ~trace ~metrics;
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
   let arg_types = parse_arg_spec args_spec in
+  install_cache_dir cache_dir;
   current_phase := "compile";
   let compile_one file =
     let source = read_file file in
@@ -218,7 +270,12 @@ let do_compile files entry args_spec target isa_file opt_level coder
       | Some e -> e
       | None -> Filename.remove_extension (Filename.basename file)
     in
-    let compiled, diags = C.compile_file config ~source ~entry ~arg_types in
+    let compiled, diags =
+      with_compile_timeout timeout (fun () ->
+          if cache_dir <> None then
+            C.compile_file_cached config ~source ~entry ~arg_types
+          else C.compile_file config ~source ~entry ~arg_types)
+    in
     (file, source, compiled, diags)
   in
   (* Reporting happens in the calling domain, in command-line order, so
@@ -319,8 +376,8 @@ let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
     arg_types
 
 let do_run file entry args_spec target isa_file opt_level coder no_vectorize
-    no_complex seed show_output opt_stats diag_fmt werror fuel trace metrics
-    profile profile_json =
+    no_complex seed show_output opt_stats cache_dir timeout diag_fmt werror
+    fuel trace metrics profile profile_json =
   handle_errors @@ fun () ->
   setup_telemetry ~trace ~metrics;
   let isa = resolve_target target isa_file in
@@ -332,8 +389,14 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
     | None -> Filename.remove_extension (Filename.basename file)
   in
   let arg_types = parse_arg_spec args_spec in
+  install_cache_dir cache_dir;
   current_phase := "compile";
-  let compiled, diags = C.compile_file config ~source ~entry ~arg_types in
+  let compiled, diags =
+    with_compile_timeout timeout (fun () ->
+        if cache_dir <> None then
+          C.compile_file_cached config ~source ~entry ~arg_types
+        else C.compile_file config ~source ~entry ~arg_types)
+  in
   let compiled =
     if report_diags ~file ~source ~fmt:diag_fmt ~werror diags
          (compiled <> None)
@@ -346,10 +409,11 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
   let profiling = profile || profile_json <> None in
   let result, prof_snap =
     match
-      if profiling then
-        let r, snap = C.run_profiled ?fuel compiled inputs in
-        (r, Some snap)
-      else (C.run ?fuel compiled inputs, None)
+      with_compile_timeout timeout (fun () ->
+          if profiling then
+            let r, snap = C.run_profiled ?fuel compiled inputs in
+            (r, Some snap)
+          else (C.run ?fuel compiled inputs, None))
     with
     | result -> result
     | exception e -> (
@@ -400,6 +464,67 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
     | None -> ())
   | None -> ());
   if opt_stats then prerr_string (C.opt_stats_dump compiled)
+
+(* ---- batch ---- *)
+
+let do_batch reqfile jobs target isa_file cache_dir timeout retries backoff_ms
+    quarantine fault_spec fault_seed summary trace metrics =
+  handle_errors @@ fun () ->
+  setup_telemetry ~trace ~metrics;
+  let isa = resolve_target target isa_file in
+  install_cache_dir cache_dir;
+  (match fault_spec with
+  | Some spec -> (
+    (* --fault overrides MASC_FAULT (already armed at startup). *)
+    match Masc_fault.Fault.parse_spec spec with
+    | bindings -> Masc_fault.Fault.configure ~seed:fault_seed bindings
+    | exception Invalid_argument msg -> usage "%s" msg)
+  | None -> ());
+  let text =
+    match reqfile with
+    | "-" -> In_channel.input_all In_channel.stdin
+    | path -> read_file path
+  in
+  current_phase := "batch";
+  let items = Batch.parse ~default_isa:isa text in
+  if items = [] then
+    usage "no requests in %s" (if reqfile = "-" then "stdin" else reqfile);
+  let policy =
+    { Req.default_policy with
+      Req.max_retries = retries;
+      backoff_base_ms = backoff_ms;
+      quarantine_after = quarantine;
+      timeout_ms = timeout;
+      retry_seed = fault_seed }
+  in
+  let jobs = if jobs <= 0 then Masc.Parallel.default_jobs () else jobs in
+  let outcomes = Batch.run ~jobs ~policy items in
+  (* Per-request lines in command-line order, whatever order the pool
+     finished them in; summary counts last. *)
+  List.iteri
+    (fun i o -> print_endline (Batch.render_line ~index:i o))
+    outcomes;
+  let count cls =
+    List.length
+      (List.filter
+         (fun (o : Req.outcome) -> Req.status_class o.Req.o_status = cls)
+         outcomes)
+  in
+  Printf.printf
+    "batch: total=%d ok=%d rejected=%d trapped=%d timeout=%d quarantined=%d \
+     crashed=%d invalid=%d\n"
+    (List.length outcomes) (count "ok") (count "rejected") (count "trapped")
+    (count "timeout") (count "quarantined") (count "crashed")
+    (count "invalid");
+  (match summary with
+  | Some path ->
+    write_file path (Batch.summary_json outcomes);
+    Printf.eprintf "summary: wrote %s\n" path
+  | None -> ());
+  (* Quarantined requests are *reported*, not silently failed: the
+     batch as a whole still succeeds, matching the soak contract
+     (every request succeeds or is quarantined with a reason). *)
+  if List.length outcomes - count "ok" - count "quarantined" > 0 then exit 1
 
 (* ---- targets / kernels ---- *)
 
@@ -541,6 +666,65 @@ let fuel_arg =
                  1e9); exceeding it raises a structured trap instead of \
                  hanging")
 
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent compile cache directory (crash-safe, \
+                 content-addressed, shared across processes); corrupt \
+                 entries are detected, counted and recompiled")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "compile-timeout" ] ~docv:"MS"
+           ~doc:"Wall-clock budget per work item, in milliseconds; \
+                 cancellation is cooperative at pass/stage boundaries \
+                 and every 1024 simulated instructions")
+
+let batch_file_arg =
+  Arg.(value & pos 0 string "-"
+       & info [] ~docv:"REQFILE"
+           ~doc:"Request file, one request per line ('-' or absent: \
+                 stdin). Line grammar: <run|compile> <kernel:NAME|FILE.m> \
+                 [args=SPEC] [entry=NAME] [target=NAME] [seed=N] [fuel=N] \
+                 [O=N] [coder] [no-vectorize] [no-complex]; '#' comments")
+
+let retries_arg =
+  Arg.(value & opt int 3
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry budget per request for retryable (injected/cache \
+                 I/O) failures")
+
+let backoff_arg =
+  Arg.(value & opt float 1.0
+       & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base retry backoff; doubles per attempt, with \
+                 deterministic jitter")
+
+let quarantine_arg =
+  Arg.(value & opt int 3
+       & info [ "quarantine-after" ] ~docv:"K"
+           ~doc:"Open the per-input circuit breaker after K consecutive \
+                 failures")
+
+let fault_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection, e.g. \
+                 'cache.read:0.1,sim.step:0.05' or 'all:0.05' \
+                 (overrides \\$MASC_FAULT)")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"Seed for fault injection and retry jitter")
+
+let summary_arg =
+  Arg.(value & opt (some string) None
+       & info [ "summary" ] ~docv:"FILE.json"
+           ~doc:"Write the batch JSON summary (per-request outcomes, \
+                 latency percentiles, retry/timeout/quarantine and \
+                 cache counters) to $(docv)")
+
 (* The documented exit-code convention; cmdliner's own codes are folded
    into it at the bottom of [main]. *)
 let exits =
@@ -558,8 +742,8 @@ let compile_cmd =
     Term.(
       const do_compile $ files_arg $ entry_arg $ args_arg $ target_arg
       $ isa_arg $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ output_arg
-      $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg $ diag_format_arg
-      $ werror_arg $ trace_arg $ metrics_arg)
+      $ header_arg $ dump_arg $ opt_stats_arg $ jobs_arg $ cache_dir_arg
+      $ timeout_arg $ diag_format_arg $ werror_arg $ trace_arg $ metrics_arg)
 
 let run_cmd =
   let doc = "compile and execute on the cycle-accounting ASIP simulator" in
@@ -568,8 +752,22 @@ let run_cmd =
     Term.(
       const do_run $ file_arg $ entry_arg $ args_arg $ target_arg $ isa_arg
       $ opt_arg $ coder_arg $ no_vec_arg $ no_cplx_arg $ seed_arg
-      $ show_output_arg $ opt_stats_arg $ diag_format_arg $ werror_arg
-      $ fuel_arg $ trace_arg $ metrics_arg $ profile_arg $ profile_json_arg)
+      $ show_output_arg $ opt_stats_arg $ cache_dir_arg $ timeout_arg
+      $ diag_format_arg $ werror_arg $ fuel_arg $ trace_arg $ metrics_arg
+      $ profile_arg $ profile_json_arg)
+
+let batch_cmd =
+  let doc =
+    "execute newline-framed compile/run requests through the \
+     fault-tolerant service core"
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~exits)
+    Term.(
+      const do_batch $ batch_file_arg $ jobs_arg $ target_arg $ isa_arg
+      $ cache_dir_arg $ timeout_arg $ retries_arg $ backoff_arg
+      $ quarantine_arg $ fault_arg $ fault_seed_arg $ summary_arg $ trace_arg
+      $ metrics_arg)
 
 let targets_cmd =
   Cmd.v
@@ -582,11 +780,19 @@ let kernels_cmd =
     Term.(const do_kernels $ const ())
 
 let () =
+  (* Arm fault injection from the environment before any subcommand
+     runs, so MASC_FAULT exercises every entry point, not just batch. *)
+  (match Masc_fault.Fault.init_from_env () with
+  | (_ : bool) -> ()
+  | exception Invalid_argument msg ->
+    Printf.eprintf "mascc: %s\n" msg;
+    exit 2);
   let doc = "retargetable MATLAB-to-C compiler for ASIPs" in
   let info = Cmd.info "mascc" ~version:"1.0.0" ~doc ~exits in
   let code =
     Cmd.eval ~catch:false
-      (Cmd.group info [ compile_cmd; run_cmd; targets_cmd; kernels_cmd ])
+      (Cmd.group info
+         [ compile_cmd; run_cmd; batch_cmd; targets_cmd; kernels_cmd ])
   in
   (* Fold cmdliner's reserved codes into the documented convention:
      124 (cli error) -> 2, 125 (internal) -> 3. *)

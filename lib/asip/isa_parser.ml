@@ -4,6 +4,13 @@ let err line fmt =
   let pos = { Loc.line; col = 1; offset = 0 } in
   Diag.error Codegen (Loc.span pos pos) fmt
 
+(* Tokens echoed in diagnostics are escaped: a truncated or binary
+   .isa file must produce a printable one-line message, not control
+   characters replayed into the terminal. Long garbage is clipped. *)
+let esc s =
+  let s = if String.length s > 64 then String.sub s 0 61 ^ "..." else s in
+  String.escaped s
+
 type accum = {
   mutable tname : string option;
   mutable description : string;
@@ -17,10 +24,15 @@ let split_words s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> w <> "")
 
-let parse_int lineno what s =
+(* Every numeric field is range-checked at parse time so a corrupt
+   description cannot smuggle a negative cost or a 2^60-lane vector
+   unit into the cost model (where it would surface as nonsense cycle
+   counts far from the actual mistake). *)
+let parse_int ?(min = 0) ?(max = 1_000_000) lineno what s =
   match int_of_string_opt s with
-  | Some n -> n
-  | None -> err lineno "%s: expected an integer, found '%s'" what s
+  | Some n when n >= min && n <= max -> n
+  | Some n -> err lineno "%s: %d out of range [%d, %d]" what n min max
+  | None -> err lineno "%s: expected an integer, found '%s'" what (esc s)
 
 let parse_cost lineno (costs : Isa.costs) param value : Isa.costs =
   let v = parse_int lineno param value in
@@ -36,30 +48,42 @@ let parse_cost lineno (costs : Isa.costs) param value : Isa.costs =
   | "bounds_check" -> { costs with Isa.bounds_check = v }
   | "descriptor" -> { costs with Isa.descriptor = v }
   | "call_overhead" -> { costs with Isa.call_overhead = v }
-  | p -> err lineno "unknown cost parameter '%s'" p
+  | p -> err lineno "unknown cost parameter '%s'" (esc p)
 
 let parse_kv lineno (word : string) =
   match String.index_opt word '=' with
   | Some i ->
     (String.sub word 0 i, String.sub word (i + 1) (String.length word - i - 1))
-  | None -> err lineno "expected key=value, found '%s'" word
+  | None -> err lineno "expected key=value, found '%s'" (esc word)
+
+(* Names land in generated C as intrinsic identifiers; restrict them at
+   the source instead of letting a stray '(' break the emitted code. *)
+let check_name lineno what s =
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  if s = "" || not (String.for_all ok s) then
+    err lineno "%s: invalid name '%s' (use [A-Za-z0-9_.]+)" what (esc s);
+  s
 
 let parse_instr lineno words =
   match words with
   | name :: kind_s :: rest ->
+    let name = check_name lineno "instr" name in
     let kind =
       match Isa.kind_of_string kind_s with
       | Some k -> k
-      | None -> err lineno "unknown instruction kind '%s'" kind_s
+      | None -> err lineno "unknown instruction kind '%s'" (esc kind_s)
     in
     let lanes = ref 1 and latency = ref 1 in
     List.iter
       (fun w ->
         let k, v = parse_kv lineno w in
         match k with
-        | "lanes" -> lanes := parse_int lineno "lanes" v
-        | "latency" -> latency := parse_int lineno "latency" v
-        | _ -> err lineno "unknown instruction attribute '%s'" k)
+        | "lanes" -> lanes := parse_int ~min:1 ~max:1024 lineno "lanes" v
+        | "latency" -> latency := parse_int ~min:0 ~max:100_000 lineno "latency" v
+        | _ -> err lineno "unknown instruction attribute '%s'" (esc k))
       rest;
     { Isa.iname = name; kind; lanes = !lanes; latency = !latency }
   | _ -> err lineno "instr: expected '<name> <kind> [lanes=..] [latency=..]'"
@@ -81,7 +105,8 @@ let parse text =
       let line = String.trim line in
       if line <> "" then
         match split_words line with
-        | [ "target"; name ] -> acc.tname <- Some name
+        | [ "target"; name ] ->
+          acc.tname <- Some (check_name lineno "target" name)
         | "description" :: _ ->
           (* free text, possibly quoted *)
           let text =
@@ -97,11 +122,18 @@ let parse text =
           in
           acc.description <- text
         | [ "vector_width"; n ] ->
-          acc.vector_width <- parse_int lineno "vector_width" n
+          acc.vector_width <- parse_int ~max:1024 lineno "vector_width" n
         | [ "cost"; param; value ] ->
           acc.costs <- parse_cost lineno acc.costs param value
-        | "instr" :: rest -> acc.instrs <- parse_instr lineno rest :: acc.instrs
-        | word :: _ -> err lineno "unknown directive '%s'" word
+        | "instr" :: rest ->
+          let instr = parse_instr lineno rest in
+          if
+            List.exists
+              (fun (i : Isa.instr_desc) -> i.Isa.iname = instr.Isa.iname)
+              acc.instrs
+          then err lineno "duplicate instruction '%s'" instr.Isa.iname;
+          acc.instrs <- instr :: acc.instrs
+        | word :: _ -> err lineno "unknown directive '%s'" (esc word)
         | [] -> ())
     lines;
   match acc.tname with
@@ -113,9 +145,16 @@ let parse text =
 
 let parse_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with End_of_file ->
+          (* File shrank between length and read (concurrent truncate):
+             surface as a parse error, not a driver crash. *)
+          err 1 "file truncated while reading")
+  in
   parse text
 
 let to_text (isa : Isa.t) =

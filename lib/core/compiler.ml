@@ -93,6 +93,10 @@ let compile_with ?passes ~sink config ~source ~entry ~arg_types =
   let degrade stage phase scalar zero_stats f =
     try f () with
     | Diag.Budget_exhausted _ as e -> raise e
+    (* Injected faults must stay retryable and deadline expiry must
+       stay a timeout: neither is a stage failure to degrade over. *)
+    | Masc_fault.Fault.Injected _ as e -> raise e
+    | Masc_fault.Cancel.Deadline_exceeded _ as e -> raise e
     | e ->
       Diag.report sink Diag.Severity.Warning phase Loc.dummy
         "%s failed (%s); keeping the scalar form" stage
@@ -162,6 +166,10 @@ let plan c =
       match c.plan_memo with
       | Some p -> p
       | None ->
+        (* Fault site: plan construction is a schedulable operation of
+           a run request; an injection here leaves the memo empty, so
+           the retry simply rebuilds. *)
+        Masc_fault.Fault.check "plan.compile";
         let p =
           Masc_vm.Plan.compile ~isa:c.config.isa ~mode:c.config.mode c.mir
         in
@@ -176,14 +184,40 @@ let plan c =
    the stage toggles. Safe to share across domains: lookups/inserts are
    mutex-protected and [compiled] is immutable apart from the
    mutex-guarded plan memo. On a racing miss both domains compile; the
-   first insert wins so every caller shares one plan. *)
-let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+   first insert wins so every caller shares one plan.
+
+   Two tiers. The in-memory table holds [compiled] values (with their
+   surviving warnings, so a cached compile replays its diagnostics) for
+   this process. When a cache directory is installed
+   ({!set_cache_dir}), successful compiles are also persisted through
+   {!Disk_cache} — temp-file + atomic-rename writes, checksummed
+   entries, corruption degraded to a miss — keyed by the same string,
+   so batches across process restarts share work. Only the marshalable
+   core (typed AST, MIR, stats, diagnostics) is persisted; the plan
+   memo is derived data and is rebuilt on first run. *)
+let cache : (string, compiled * Diag.t list) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
 
 (* Defensive bound for open-ended sweeps (e.g. candidate-ISA design
    space exploration): a full flush is simpler than LRU and the sweep
    re-warms in one batch. *)
 let cache_cap = 256
+
+(* The persistent tier's version: any change to the marshaled shape —
+   which in practice means any change to the AST/MIR/stat types — must
+   bump the format number, and a different OCaml runtime must never
+   unmarshal our payloads. The digest check runs before unmarshal, so a
+   skewed entry is deleted without ever being decoded. *)
+let cache_version = "masc-cc-1|" ^ Sys.ocaml_version
+
+let disk_dir : string option Atomic.t = Atomic.make None
+let set_cache_dir dir = Atomic.set disk_dir dir
+let cache_dir () = Atomic.get disk_dir
+
+(* Testing hook: drop the in-memory tier so the disk tier is
+   observable in-process. *)
+let clear_memory_cache () =
+  Mutex.protect cache_lock (fun () -> Hashtbl.reset cache)
 
 let cache_key config ~source ~entry ~arg_types =
   String.concat "|"
@@ -196,22 +230,118 @@ let cache_key config ~source ~entry ~arg_types =
       string_of_bool config.vectorize;
       string_of_bool config.select_complex ]
 
-let compile_cached config ~source ~entry ~arg_types =
+(* Persisted form: the immutable core of [compiled] plus the
+   diagnostics that accompanied it (warnings/notes — errors are never
+   cached). Every component is plain algebraic data. *)
+type disk_payload =
+  Masc_sema.Tast.program
+  * Masc_mir.Mir.func
+  * Masc_mir.Mir.func
+  * Masc_vectorize.Vectorizer.stats
+  * Masc_vectorize.Complex_sel.stats
+  * (string * Pipeline.pass_stat list) list
+  * Diag.t list
+
+let encode_payload (c : compiled) (diags : Diag.t list) : string =
+  Marshal.to_string
+    (( c.typed, c.mir_raw, c.mir, c.vec_stats, c.cplx_stats, c.opt_stats,
+       diags )
+      : disk_payload)
+    []
+
+(* Unmarshal runs only on digest-verified bytes written under the same
+   [cache_version], so a [Failure] here means our own writer produced
+   it — still treated as corruption (delete + miss), never an error. *)
+let decode_payload config (s : string) : (compiled * Diag.t list) option =
+  match (Marshal.from_string s 0 : disk_payload) with
+  | typed, mir_raw, mir, vec_stats, cplx_stats, opt_stats, diags ->
+    Some
+      ( { config; typed; mir_raw; mir; vec_stats; cplx_stats; opt_stats;
+          plan_lock = Mutex.create (); plan_memo = None },
+        diags )
+  | exception _ -> None
+
+let mem_find key =
+  Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
+
+let mem_add key entry =
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some winner -> winner
+      | None ->
+        if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+        Hashtbl.add cache key entry;
+        entry)
+
+(* Disk lookup + decode; corruption discovered at decode time is folded
+   back into the store's corruption accounting. *)
+let disk_find config key =
+  match cache_dir () with
+  | None -> None
+  | Some dir -> (
+    match Disk_cache.find ~dir ~version:cache_version ~key with
+    | None -> None
+    | Some payload -> (
+      match decode_payload config payload with
+      | Some entry -> Some entry
+      | None ->
+        Disk_cache.invalidate ~dir ~key;
+        None))
+
+let disk_store key (c : compiled) diags =
+  match cache_dir () with
+  | None -> ()
+  | Some dir ->
+    Disk_cache.store ~dir ~version:cache_version ~key (encode_payload c diags)
+
+(* Shared two-tier lookup: [compile_it] runs on a full miss and returns
+   [Some (compiled, diags)] for cacheable (error-free) results. *)
+let cached_lookup config ~source ~entry ~arg_types compile_it =
   let key = cache_key config ~source ~entry ~arg_types in
-  match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
-  | Some c ->
+  match mem_find key with
+  | Some entry ->
     Masc_obs.Metrics.incr "compile.cache_hits";
-    c
-  | None ->
-    Masc_obs.Metrics.incr "compile.cache_misses";
-    let c = compile config ~source ~entry ~arg_types in
-    Mutex.protect cache_lock (fun () ->
-        match Hashtbl.find_opt cache key with
-        | Some winner -> winner
-        | None ->
-          if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
-          Hashtbl.add cache key c;
-          c)
+    `Hit entry
+  | None -> (
+    match disk_find config key with
+    | Some entry ->
+      Masc_obs.Metrics.incr "compile.cache_hits";
+      `Hit (mem_add key entry)
+    | None ->
+      Masc_obs.Metrics.incr "compile.cache_misses";
+      (match compile_it () with
+      | None -> `Uncacheable
+      | Some entry ->
+        let entry = mem_add key entry in
+        let c, diags = entry in
+        disk_store key c diags;
+        `Hit entry))
+
+let compile_cached config ~source ~entry ~arg_types =
+  match
+    cached_lookup config ~source ~entry ~arg_types (fun () ->
+        Some (compile config ~source ~entry ~arg_types, []))
+  with
+  | `Hit (c, _) -> c
+  | `Uncacheable -> assert false
+
+(* The batch/service entry point: {!compile_file}'s accumulating
+   contract behind both cache tiers. Only error-free results are
+   cached; their warnings/notes ride along so a warm hit replays the
+   same diagnostics as the cold compile. *)
+let compile_file_cached ?error_budget config ~source ~entry ~arg_types =
+  let outcome = ref None in
+  match
+    cached_lookup config ~source ~entry ~arg_types (fun () ->
+        match compile_file ?error_budget config ~source ~entry ~arg_types with
+        | Some c, diags -> Some (c, diags)
+        | None, diags ->
+          outcome := Some (None, diags);
+          None)
+  with
+  | `Hit (c, diags) -> (Some c, diags)
+  | `Uncacheable -> (
+    match !outcome with Some r -> r | None -> assert false)
 
 let c_source c =
   Masc_codegen.Emit.program ~isa:c.config.isa ~mode:c.config.mode c.mir

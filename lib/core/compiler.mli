@@ -90,13 +90,43 @@ val compile_file :
     types, ISA name + structural digest, mode, opt level, stage
     toggles). Thread-safe: the batch drivers (`mascc --jobs`, the bench
     sweeps) call it from multiple domains and share one [compiled] — and
-    therefore one execution plan — per distinct key. *)
+    therefore one execution plan — per distinct key.
+
+    With a cache directory installed ({!set_cache_dir}), misses also
+    consult — and successful compiles populate — the crash-safe
+    persistent tier ({!Masc.Disk_cache}), shared across processes. *)
 val compile_cached :
   config ->
   source:string ->
   entry:string ->
   arg_types:Masc_sema.Mtype.t list ->
   compiled
+
+(** [compile_file_cached] is {!compile_file} behind the same two cache
+    tiers. Only error-free compilations are cached; their
+    warnings/notes are stored alongside, so a warm hit replays exactly
+    the diagnostics of the cold compile. Results with errors are
+    recompiled on every call (errors are rare and cheap on the service
+    path, and must stay attributable to the source text actually
+    submitted). *)
+val compile_file_cached :
+  ?error_budget:int ->
+  config ->
+  source:string ->
+  entry:string ->
+  arg_types:Masc_sema.Mtype.t list ->
+  compiled option * Masc_frontend.Diag.t list
+
+(** Install (or clear, with [None]) the persistent cache directory used
+    by the cached entry points — [mascc --cache-dir]. The directory is
+    created on first write. *)
+val set_cache_dir : string option -> unit
+
+val cache_dir : unit -> string option
+
+(** Drop the in-memory cache tier (testing: makes the disk tier
+    observable within one process). *)
+val clear_memory_cache : unit -> unit
 
 (** The closure-threaded execution plan for [mir], built on first use
     and memoized for the lifetime of this compilation. Safe to call

@@ -84,7 +84,13 @@ type pass_stat = {
    summary) and, in echo mode — what MASC_TIME_STAGES now enables, see
    Masc_obs.Trace — print the historical one-stderr-line-per-span
    format. Stderr so telemetry composes with `-- json` on stdout. *)
-let timed what name f x = Masc_obs.Trace.span ~cat:what name (fun () -> f x)
+(* Every stage and pass boundary is also a cancellation point: a
+   request deadline installed by the service layer (Masc_fault.Cancel)
+   is honored between passes, so a hung *schedule* cannot outlive its
+   budget even though each individual pass runs to completion. *)
+let timed what name f x =
+  Masc_fault.Cancel.check ();
+  Masc_obs.Trace.span ~cat:what name (fun () -> f x)
 
 (* Passes whose single run dominates a whole sweep of the cheap
    normalizers: they are deferred to change-free sweeps (below). *)
@@ -115,6 +121,12 @@ let max_steps_per_pass = 24
 
 let run_fixpoint (pass_list : (string * (Masc_mir.Mir.func -> Masc_mir.Mir.func)) list)
     func =
+  (* Fault site: one draw per fixpoint invocation (the optimize and
+     cleanup stages each count as one schedulable operation), so a
+     request-level retry probability composes predictably instead of
+     scaling with however many pass runs the schedule happens to
+     need. *)
+  Masc_fault.Fault.check "pass.run";
   let arr = Array.of_list pass_list in
   let n = Array.length arr in
   let stats =

@@ -1,0 +1,187 @@
+(* Deterministic seeded fault injection.
+
+   Design constraints, in order:
+   - disabled must cost one atomic load per check (checks sit in the
+     compile cache, the pass scheduler and the simulator entry);
+   - armed decisions must be a pure function of (seed, site, occurrence
+     index) so a fixed seed reproduces the exact failure schedule under
+     jobs=1, and per-request schedules stay stable enough under domains
+     for the CI soak to compare against a fault-free run;
+   - thread-safe: occurrence counters are atomics, configuration is a
+     single immutable snapshot behind an Atomic. *)
+
+exception Injected of { site : string; occurrence : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; occurrence } ->
+      Some
+        (Printf.sprintf "injected fault at site '%s' (occurrence %d)" site
+           occurrence)
+    | _ -> None)
+
+let sites =
+  [ "cache.read"; "cache.write"; "pass.run"; "plan.compile"; "sim.step" ]
+
+type site_state = {
+  name : string;
+  prob : float;
+  counter : int Atomic.t;  (* occurrences drawn so far *)
+}
+
+type config = { seed : int; armed_sites : site_state list }
+
+let state : config option Atomic.t = Atomic.make None
+
+(* ---- splitmix64: the decision function ----
+
+   Decision for (seed, site, k) = two rounds of splitmix64 over a mix
+   of the seed, a site-name hash and the occurrence index. Stable
+   across OCaml versions (pure int64 arithmetic; Hashtbl.hash of a
+   short string is version-stable in practice, but we use our own FNV
+   to be certain). *)
+
+let fnv1a (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let splitmix64 (z : int64) : int64 =
+  let z = Int64.add z 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0,1) from the top 53 bits. *)
+let to_unit (z : int64) : float =
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+
+let decision ~seed ~site ~k =
+  let z =
+    splitmix64
+      (Int64.logxor (fnv1a site)
+         (Int64.add (Int64.of_int seed)
+            (Int64.mul (Int64.of_int k) 0x2545f4914f6cdd1dL)))
+  in
+  (* First word decides whether the occurrence fires; the second
+     schedules *where* for sites that defer the failure (sim.step). *)
+  (to_unit z, 1 + Int64.to_int (Int64.rem (Int64.abs (splitmix64 z)) 2048L))
+
+(* ---- configuration ---- *)
+
+let parse_spec spec =
+  let one part =
+    match String.index_opt part ':' with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "MASC_FAULT: expected site:probability, found '%s'"
+           (String.escaped part))
+    | Some i ->
+      let site = String.trim (String.sub part 0 i) in
+      let p_s =
+        String.trim (String.sub part (i + 1) (String.length part - i - 1))
+      in
+      let p =
+        match float_of_string_opt p_s with
+        | Some p when p >= 0.0 && p <= 1.0 -> p
+        | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "MASC_FAULT: probability for '%s' must be in [0,1], found '%s'"
+               (String.escaped site) (String.escaped p_s))
+      in
+      if site <> "all" && not (List.mem site sites) then
+        invalid_arg
+          (Printf.sprintf "MASC_FAULT: unknown site '%s' (catalog: %s, all)"
+             (String.escaped site)
+             (String.concat ", " sites));
+      (site, p)
+  in
+  String.split_on_char ',' (String.trim spec)
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map one
+  |> List.concat_map (fun (site, p) ->
+         if site = "all" then List.map (fun s -> (s, p)) sites
+         else [ (site, p) ])
+
+let configure ~seed spec =
+  List.iter
+    (fun (site, p) ->
+      if not (List.mem site sites) then
+        invalid_arg (Printf.sprintf "Fault.configure: unknown site '%s'" site);
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Fault.configure: probability for '%s' out of [0,1]"
+             site))
+    spec;
+  (* Last binding for a site wins, so "all:0.05,sim.step:0" reads
+     naturally. *)
+  let armed_sites =
+    List.filter_map
+      (fun name ->
+        match
+          List.fold_left
+            (fun acc (s, p) -> if s = name then Some p else acc)
+            None spec
+        with
+        | Some p when p > 0.0 ->
+          Some { name; prob = p; counter = Atomic.make 0 }
+        | _ -> None)
+      sites
+  in
+  Atomic.set state
+    (if armed_sites = [] then None else Some { seed; armed_sites })
+
+let disable () = Atomic.set state None
+
+let init_from_env () =
+  match Sys.getenv_opt "MASC_FAULT" with
+  | None | Some "" -> false
+  | Some spec ->
+    let seed =
+      match Sys.getenv_opt "MASC_FAULT_SEED" with
+      | None -> 0
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> invalid_arg "MASC_FAULT_SEED: expected an integer")
+    in
+    configure ~seed (parse_spec spec);
+    true
+
+(* ---- checks ---- *)
+
+let find_site cfg site =
+  List.find_opt (fun s -> s.name = site) cfg.armed_sites
+
+let armed site =
+  match Atomic.get state with
+  | None -> false
+  | Some cfg -> find_site cfg site <> None
+
+let injected ~site ~occurrence =
+  Masc_obs.Metrics.incr "fault.injected";
+  Masc_obs.Metrics.incr ("fault.injected." ^ site);
+  Injected { site; occurrence }
+
+let draw site =
+  match Atomic.get state with
+  | None -> None
+  | Some cfg -> (
+    match find_site cfg site with
+    | None -> None
+    | Some ss ->
+      let k = Atomic.fetch_and_add ss.counter 1 in
+      let u, step = decision ~seed:cfg.seed ~site ~k in
+      if u < ss.prob then Some (k, step) else None)
+
+let check site =
+  match draw site with
+  | None -> ()
+  | Some (occurrence, _step) -> raise (injected ~site ~occurrence)

@@ -1,0 +1,318 @@
+(* Fault-tolerant request execution: see the .mli for the contract.
+
+   Retryability is a *classification* decision, made in exactly one
+   place (the exception dispatch in `execute`): injected faults are
+   transient by construction, so they retry; diagnostics and simulator
+   traps are pure functions of the input, so retrying them would only
+   burn the budget reproducing the same failure. *)
+
+module MT = Masc_sema.Mtype
+module I = Masc_vm.Interp
+module V = Masc_vm.Value
+module C = Masc.Compiler
+module Fault = Masc_fault.Fault
+module Cancel = Masc_fault.Cancel
+module Metrics = Masc_obs.Metrics
+
+type op = Compile | Run
+
+type spec = {
+  op : op;
+  label : string;
+  source : string;
+  entry : string;
+  arg_types : MT.t list;
+  inputs : I.xvalue list;
+  config : C.config;
+  fuel : int option;
+}
+
+type status =
+  | Ok_run of { cycles : int; dyn_instrs : int; rets_digest : string }
+  | Ok_compile of { c_digest : string; c_bytes : int }
+  | Rejected of Masc_frontend.Diag.t list
+  | Trapped of string
+  | Timed_out of { budget_ms : float }
+  | Quarantined of { reason : string }
+  | Crashed of string
+  | Invalid of string
+
+type outcome = {
+  o_label : string;
+  o_op : op;
+  o_status : status;
+  o_latency_ms : float;
+  o_retries : int;
+}
+
+type policy = {
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_jitter : float;
+  quarantine_after : int;
+  timeout_ms : float option;
+  retry_seed : int;
+}
+
+let default_policy =
+  {
+    max_retries = 3;
+    backoff_base_ms = 1.0;
+    backoff_factor = 2.0;
+    backoff_jitter = 0.5;
+    quarantine_after = 3;
+    timeout_ms = None;
+    retry_seed = 0;
+  }
+
+(* ---- circuit breaker ---- *)
+
+type breaker = { mu : Mutex.t; fails : (string, int) Hashtbl.t }
+
+let create_breaker () = { mu = Mutex.create (); fails = Hashtbl.create 16 }
+
+(* Input identity: same source + entry + types + configuration ⇒ same
+   breaker cell, whatever label the batch file used for it. *)
+let input_key (s : spec) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( s.source,
+            s.entry,
+            s.arg_types,
+            s.config.C.isa.Masc_asip.Isa.tname,
+            s.config.C.mode,
+            s.config.C.opt_level,
+            s.config.C.vectorize,
+            s.config.C.select_complex )
+          []))
+
+let breaker_open b ~key ~threshold =
+  Mutex.protect b.mu (fun () ->
+      match Hashtbl.find_opt b.fails key with
+      | Some n -> n >= threshold
+      | None -> false)
+
+let breaker_note b ~key ~failed =
+  Mutex.protect b.mu (fun () ->
+      if failed then
+        let n = Option.value ~default:0 (Hashtbl.find_opt b.fails key) in
+        Hashtbl.replace b.fails key (n + 1)
+      else Hashtbl.remove b.fails key)
+
+(* ---- deterministic inputs (shared with mascc run) ---- *)
+
+let random_inputs ~seed (arg_types : MT.t list) : I.xvalue list =
+  List.mapi
+    (fun i ty ->
+      let n = MT.numel ty in
+      let vals = Masc_kernels.Kernels.randoms ~seed:(seed + (37 * i)) n in
+      if MT.is_scalar ty then
+        match ty.MT.cplx with
+        | MT.Real -> I.Xscalar (V.Sf vals.(0))
+        | MT.Complex ->
+          I.Xscalar (V.Sc { Complex.re = vals.(0); im = -.vals.(0) })
+      else
+        match ty.MT.cplx with
+        | MT.Real -> I.xarray_of_floats vals
+        | MT.Complex ->
+          I.xarray_of_complex
+            (Array.map (fun v -> { Complex.re = v; im = 0.5 *. v }) vals))
+    arg_types
+
+(* ---- backoff jitter: deterministic per (seed, input key, attempt) ---- *)
+
+let splitmix64 x =
+  let x = Int64.add x 0x9E3779B97F4A7C15L in
+  let x =
+    Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let x =
+    Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let jitter_unit ~seed ~key ~attempt =
+  let h = Hashtbl.hash (key, attempt) in
+  let bits = splitmix64 (Int64.of_int (seed lxor (h * 0x2545F491))) in
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0
+
+(* ---- one attempt ---- *)
+
+let digest_rets (rets : I.xvalue list) =
+  Digest.to_hex (Digest.string (Marshal.to_string rets []))
+
+let has_errors diags =
+  List.exists
+    (fun d -> d.Masc_frontend.Diag.severity = Masc_frontend.Diag.Severity.Error)
+    diags
+
+let attempt (s : spec) : status =
+  match
+    C.compile_file_cached s.config ~source:s.source ~entry:s.entry
+      ~arg_types:s.arg_types
+  with
+  | None, diags -> Rejected diags
+  | Some compiled, diags ->
+    if has_errors diags then Rejected diags
+    else (
+      match s.op with
+      | Compile ->
+        let c = C.c_source compiled in
+        Ok_compile
+          {
+            c_digest = Digest.to_hex (Digest.string c);
+            c_bytes = String.length c;
+          }
+      | Run -> (
+        match C.run ?fuel:s.fuel compiled s.inputs with
+        | r ->
+          Ok_run
+            {
+              cycles = r.I.cycles;
+              dyn_instrs = r.I.dyn_instrs;
+              rets_digest = digest_rets r.I.rets;
+            }
+        | exception Masc_vm.Exec.Trap { kind; loc; steps_executed } ->
+          Trapped (Masc_vm.Exec.trap_message ~kind ~loc ~steps_executed)
+        | exception I.Runtime_error msg -> Trapped msg))
+
+(* ---- retry loop ---- *)
+
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+let sleep_ms ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+let status_class = function
+  | Ok_run _ | Ok_compile _ -> "ok"
+  | Rejected _ -> "rejected"
+  | Trapped _ -> "trapped"
+  | Timed_out _ -> "timeout"
+  | Quarantined _ -> "quarantined"
+  | Crashed _ -> "crashed"
+  | Invalid _ -> "invalid"
+
+let status_detail = function
+  | Ok_run { cycles; dyn_instrs; _ } ->
+    Printf.sprintf "cycles=%d dyn=%d" cycles dyn_instrs
+  | Ok_compile { c_bytes; _ } -> Printf.sprintf "c_bytes=%d" c_bytes
+  | Rejected diags ->
+    Printf.sprintf "errors=%d" (List.length (List.filter (fun d ->
+        d.Masc_frontend.Diag.severity = Masc_frontend.Diag.Severity.Error) diags))
+  | Trapped msg -> Printf.sprintf "reason=%S" msg
+  | Timed_out { budget_ms } -> Printf.sprintf "budget_ms=%g" budget_ms
+  | Quarantined { reason } -> Printf.sprintf "reason=%S" reason
+  | Crashed msg -> Printf.sprintf "reason=%S" msg
+  | Invalid msg -> Printf.sprintf "reason=%S" msg
+
+(* A failure the breaker should count: the non-deterministic (or
+   resource-exhaustion) classes that poison throughput when the same
+   input keeps cycling. Rejected/Trapped are the input behaving as
+   specified — not counted. *)
+let breaker_counts = function
+  | Timed_out _ | Quarantined _ | Crashed _ -> true
+  | Ok_run _ | Ok_compile _ | Rejected _ | Trapped _ | Invalid _ -> false
+
+let execute ?breaker ~policy (s : spec) : outcome =
+  Metrics.incr "svc.requests";
+  let key = input_key s in
+  let t0 = now_ms () in
+  let finish ~retries status =
+    (match breaker with
+    | Some b -> breaker_note b ~key ~failed:(breaker_counts status)
+    | None -> ());
+    Metrics.incr ("svc.status." ^ status_class status);
+    {
+      o_label = s.label;
+      o_op = s.op;
+      o_status = status;
+      o_latency_ms = now_ms () -. t0;
+      o_retries = retries;
+    }
+  in
+  let circuit_open =
+    match breaker with
+    | Some b -> breaker_open b ~key ~threshold:policy.quarantine_after
+    | None -> false
+  in
+  if circuit_open then begin
+    (* Short-circuit without `finish`: the open breaker must neither
+       re-count a failure nor reset. *)
+    Metrics.incr "svc.quarantined";
+    Metrics.incr "svc.status.quarantined";
+    {
+      o_label = s.label;
+      o_op = s.op;
+      o_status =
+        Quarantined
+          {
+            reason =
+              Printf.sprintf "circuit open after %d consecutive failures"
+                policy.quarantine_after;
+          };
+      o_latency_ms = now_ms () -. t0;
+      o_retries = 0;
+    }
+  end
+  else
+    let rec go attempt_no =
+      match attempt s with
+      | status -> finish ~retries:attempt_no status
+      | exception Fault.Injected { site; occurrence } ->
+        if attempt_no >= policy.max_retries then begin
+          Metrics.incr "svc.quarantined";
+          finish ~retries:attempt_no
+            (Quarantined
+               {
+                 reason =
+                   Printf.sprintf
+                     "retries exhausted: fault at %s (occurrence %d)" site
+                     occurrence;
+               })
+        end
+        else begin
+          Metrics.incr "svc.retries";
+          let delay =
+            policy.backoff_base_ms
+            *. (policy.backoff_factor ** float_of_int attempt_no)
+            *. (1.0
+               +. policy.backoff_jitter
+                  *. jitter_unit ~seed:policy.retry_seed ~key
+                       ~attempt:attempt_no)
+          in
+          (match Cancel.remaining_ms () with
+          | Some left when left <= delay ->
+            (* The sleep alone would blow the deadline; report the
+               timeout now instead of sleeping into it. Counted by the
+               handler below, like any other deadline hit. *)
+            raise
+              (Cancel.Deadline_exceeded
+                 { budget_ms = Option.value ~default:0.0 policy.timeout_ms })
+          | _ -> ());
+          sleep_ms delay;
+          go (attempt_no + 1)
+        end
+      | exception Cancel.Deadline_exceeded { budget_ms } ->
+        Metrics.incr "svc.timeouts";
+        finish ~retries:attempt_no (Timed_out { budget_ms })
+      | exception e ->
+        (* Crash isolation: anything unexpected is contained to this
+           request and reported, not propagated into the batch. *)
+        finish ~retries:attempt_no (Crashed (Printexc.to_string e))
+    in
+    let body () = go 0 in
+    match policy.timeout_ms with
+    | None -> (
+      try body ()
+      with Cancel.Deadline_exceeded { budget_ms } ->
+        (* The backoff-refusal raise under a caller-installed deadline. *)
+        Metrics.incr "svc.timeouts";
+        finish ~retries:0 (Timed_out { budget_ms }))
+    | Some ms -> (
+      try Cancel.with_deadline ~ms body
+      with Cancel.Deadline_exceeded { budget_ms } ->
+        Metrics.incr "svc.timeouts";
+        finish ~retries:0 (Timed_out { budget_ms }))

@@ -1,0 +1,95 @@
+(** Fault-tolerant execution of one compile/run work item.
+
+    The service layer treats every request as untrusted work with a
+    bounded blast radius:
+
+    - a wall-clock {e deadline} ([policy.timeout_ms]) installed via
+      {!Masc_fault.Cancel.with_deadline} and honored cooperatively at
+      every pass/stage boundary and every
+      {!Masc_vm.Exec.guard_mask}+1 simulated instructions;
+    - a {e retry policy} with exponential backoff and deterministic
+      jitter for {e retryable} failures only — injected faults
+      ({!Masc_fault.Fault.Injected}) and cache I/O faults. Deterministic
+      outcomes (diagnostics, simulator traps) are never retried: the
+      same input would fail the same way;
+    - a per-input {e circuit breaker}: after [quarantine_after]
+      consecutive non-deterministic failures of the same input, further
+      requests for it short-circuit to {!Quarantined} instead of
+      burning retries batch-wide;
+    - {e crash isolation}: [execute] never raises — an unexpected
+      exception becomes a {!Crashed} outcome for that request alone.
+
+    A request that exhausts its retries is itself reported
+    {!Quarantined} with a structured reason: the caller learns exactly
+    which site gave up, and the batch goes on. *)
+
+module MT := Masc_sema.Mtype
+module I := Masc_vm.Interp
+
+type op = Compile | Run
+
+type spec = {
+  op : op;
+  label : string;  (** reporting name: the file path or [kernel:<name>] *)
+  source : string;  (** MATLAB source text *)
+  entry : string;
+  arg_types : MT.t list;
+  inputs : I.xvalue list;  (** for [Run]; deterministic per request *)
+  config : Masc.Compiler.config;
+  fuel : int option;
+}
+
+type status =
+  | Ok_run of { cycles : int; dyn_instrs : int; rets_digest : string }
+      (** [rets_digest] fingerprints the returned values, so two runs
+          of the same request can be compared bit-for-bit from the
+          batch summary alone. *)
+  | Ok_compile of { c_digest : string; c_bytes : int }
+  | Rejected of Masc_frontend.Diag.t list  (** deterministic diagnostics *)
+  | Trapped of string  (** simulator guardrail trap / runtime error *)
+  | Timed_out of { budget_ms : float }
+  | Quarantined of { reason : string }
+  | Crashed of string  (** unexpected exception, isolated to this request *)
+  | Invalid of string  (** malformed request line (batch front end) *)
+
+type outcome = {
+  o_label : string;
+  o_op : op;
+  o_status : status;
+  o_latency_ms : float;
+  o_retries : int;
+}
+
+type policy = {
+  max_retries : int;  (** retryable-failure budget per request *)
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_jitter : float;  (** delay is scaled by [1 + jitter*u], u in [0,1) *)
+  quarantine_after : int;  (** consecutive failures before the breaker opens *)
+  timeout_ms : float option;  (** whole-request wall-clock deadline *)
+  retry_seed : int;  (** jitter determinism *)
+}
+
+(** 3 retries, 1 ms base doubling, 0.5 jitter, quarantine after 3,
+    no deadline, seed 0. *)
+val default_policy : policy
+
+(** Consecutive-failure counts per input identity; share one breaker
+    across a batch. Thread-safe. *)
+type breaker
+
+val create_breaker : unit -> breaker
+
+(** Deterministic pseudo-random simulator inputs for a file-based run
+    request (the same generator as [mascc run --seed]). *)
+val random_inputs : seed:int -> MT.t list -> I.xvalue list
+
+(** One-word status class for reports: [ok], [rejected], [trapped],
+    [timeout], [quarantined], [crashed] or [invalid]. *)
+val status_class : status -> string
+
+(** Human-oriented detail suffix ([cycles=...], [reason="..."], ...). *)
+val status_detail : status -> string
+
+(** Run one request under the policy. Never raises. *)
+val execute : ?breaker:breaker -> policy:policy -> spec -> outcome

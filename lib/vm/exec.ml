@@ -41,6 +41,14 @@ exception Trap of { kind : trap_kind; loc : string; steps_executed : int }
 let default_fuel = 1_000_000_000
 let default_max_alloc_bytes = 268_435_456 (* 256 MiB *)
 
+(* The fuel machinery is also where cooperative cancellation hooks into
+   a running simulation: both engines test the request deadline
+   (Masc_fault.Cancel) every [guard_mask]+1 dynamic instructions —
+   frequent enough to bound the overshoot to microseconds, rare enough
+   that the armed cost disappears into the per-instruction work. The
+   mask is shared so the two engines cancel at the same step. *)
+let guard_mask = 1023
+
 let trap_message ~kind ~loc ~steps_executed =
   match kind with
   | Fuel_exhausted { fuel } ->

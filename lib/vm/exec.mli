@@ -44,6 +44,12 @@ val default_fuel : int
 val default_max_alloc_bytes : int
 (** 256 MiB of simulated array storage. *)
 
+val guard_mask : int
+(** Both engines test the cooperative request deadline
+    ({!Masc_fault.Cancel.check}) every [guard_mask]+1 dynamic
+    instructions, riding the fuel accounting; shared so a deadline
+    cancels at the same step in either engine. *)
+
 (** Human-readable rendering of a trap. *)
 val trap_message : kind:trap_kind -> loc:string -> steps_executed:int -> string
 

@@ -161,3 +161,76 @@ per completed stage on stderr:
   vectorize
   complex-sel
   cleanup
+
+A truncated or garbage target description is a usage error (exit 2)
+with the file and line, not a source diagnostic:
+
+  $ printf 'target t\nvector_w 8\n' > broken.isa
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" --isa broken.isa
+  mascc: broken.isa:2: unknown directive 'vector_w'
+  [2]
+  $ printf 'target t\nvector_width -3\n' > broken2.isa
+  $ mascc compile fir_filter.m --args "double:1x64,double:1x8" --isa broken2.isa
+  mascc: broken2.isa:2: vector_width: -3 out of range [0, 1024]
+  [2]
+
+The batch subcommand drives the fault-tolerant service core: requests
+come one per line, results return in input order, and a malformed line
+costs exactly its own slot:
+
+  $ cat > reqs.txt <<'EOF'
+  > # the six kernels, mixed operations
+  > run kernel:fir
+  > compile kernel:fft target=dsp4
+  > run kernel:nonexistent
+  > run fir_filter.m args=double:1x64,double:1x8
+  > EOF
+  $ mascc batch reqs.txt | sed 's/ latency_ms=.*//'
+  req 0 ok run kernel:fir retries=0 cycles=49039 dyn=40967
+  req 1 ok compile kernel:fft retries=0 c_bytes=3233
+  req 2 invalid run kernel:nonexistent retries=0 reason="unknown kernel 'nonexistent'"
+  req 3 ok run fir_filter.m retries=0 cycles=1285 dyn=989
+  batch: total=4 ok=3 rejected=0 trapped=0 timeout=0 quarantined=0 crashed=0 invalid=1
+  $ mascc batch reqs.txt > /dev/null; echo "exit=$?"
+  exit=1
+
+Deterministic fault injection: under a fixed seed the same requests
+retry transiently-failing work and still produce results bit-identical
+to the fault-free run (cycles above):
+
+  $ cat > soak.txt <<'EOF'
+  > run kernel:fir
+  > run kernel:fir
+  > run kernel:fir
+  > run kernel:fir
+  > EOF
+  $ mascc batch soak.txt --fault sim.step:0.5 --fault-seed 7 --retries 10 --summary soak.json 2>/dev/null | sed 's/ retries=[0-9]*//;s/ latency_ms=.*//'
+  req 0 ok run kernel:fir cycles=49039 dyn=40967
+  req 1 ok run kernel:fir cycles=49039 dyn=40967
+  req 2 ok run kernel:fir cycles=49039 dyn=40967
+  req 3 ok run kernel:fir cycles=49039 dyn=40967
+  batch: total=4 ok=4 rejected=0 trapped=0 timeout=0 quarantined=0 crashed=0 invalid=0
+  $ grep -o '"faults_injected": [0-9]*' soak.json | awk '$2 > 0 {print "faults were injected"}'
+  faults were injected
+
+The persistent cache survives across processes and reports corrupt
+entries as misses, never as errors:
+
+  $ mascc batch soak.txt --cache-dir cache >/dev/null
+  $ mascc batch soak.txt --cache-dir cache --summary warm.json >/dev/null 2>&1
+  $ grep -o '"hits": [0-9]*, "misses": [0-9]*' warm.json
+  "hits": 4, "misses": 0
+  $ for f in cache/*/*.masc; do head -c 40 "$f" > "$f.tmp"; mv "$f.tmp" "$f"; done
+  $ mascc batch soak.txt --cache-dir cache --summary corrupt.json 2>/dev/null | tail -1
+  batch: total=4 ok=4 rejected=0 trapped=0 timeout=0 quarantined=0 crashed=0 invalid=0
+  $ grep -o '"disk_corrupt": [0-9]*' corrupt.json
+  "disk_corrupt": 1
+
+A request that cannot finish inside --compile-timeout is reported as a
+timeout, in its slot, without hanging the batch:
+
+  $ printf 'run kernel:matmul\n' | mascc batch --compile-timeout 0.001 | sed 's/ latency_ms=.*//'
+  req 0 timeout run kernel:matmul retries=0 budget_ms=0.001
+  batch: total=1 ok=0 rejected=0 trapped=0 timeout=1 quarantined=0 crashed=0 invalid=0
+  $ printf 'run kernel:matmul\n' | mascc batch --compile-timeout 0.001 > /dev/null; echo "exit=$?"
+  exit=1

@@ -1,3 +1,3 @@
 (* Test entry point: aggregates the per-module suites. *)
 
-let () = Alcotest.run "masc" (Test_frontend.suites @ Test_diag.suites @ Test_sema.suites @ Test_mir.suites @ Test_vectorize.suites @ Test_kernels.suites @ Test_opt.suites @ Test_passmgr.suites @ Test_asip.suites @ Test_codegen.suites @ Test_vm.suites @ Test_integration.suites @ Test_obs.suites)
+let () = Alcotest.run "masc" (Test_frontend.suites @ Test_diag.suites @ Test_sema.suites @ Test_mir.suites @ Test_vectorize.suites @ Test_kernels.suites @ Test_opt.suites @ Test_passmgr.suites @ Test_asip.suites @ Test_codegen.suites @ Test_vm.suites @ Test_integration.suites @ Test_obs.suites @ Test_svc.suites)
