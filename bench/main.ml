@@ -403,7 +403,7 @@ let json () =
   let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null" in
   let sep xs f = List.iteri (fun i x -> (if i > 0 then add ","); f x) xs in
   add "{\n";
-  add "  \"schema_version\": 4,\n";
+  add "  \"schema_version\": 5,\n";
   add "  \"generator\": \"bench/main.exe json\",\n";
   add "  \"jobs\": %d,\n" !jobs;
   add "  \"host_cores\": %d,\n" (Masc.Parallel.default_jobs ());

@@ -150,12 +150,37 @@ let with_compile_timeout ms f =
    named in the internal-compiler-error report. *)
 let current_phase = ref "startup"
 
+(* Telemetry sinks drain through one ordered registry (journal, trace,
+   metrics — registration order), exactly once; defined here because
+   the error paths below must force the drain before bailing out. *)
+let flush_actions : (unit -> unit) list ref = ref []
+let register_flush f = flush_actions := !flush_actions @ [ f ]
+let telemetry_flushed = ref false
+
+let flush_telemetry () =
+  if not !telemetry_flushed then begin
+    telemetry_flushed := true;
+    List.iter (fun f -> try f () with Sys_error _ -> ()) !flush_actions
+  end
+
 let rec handle_exn = function
   | Usage msg ->
     Printf.eprintf "mascc: %s\n" msg;
     exit 2
   | Sys_error msg when is_epipe msg ->
-    (* Output consumer went away; nothing useful left to write. *)
+    (* Output consumer went away; nothing useful left to write on
+       stdout — but the file-bound telemetry sinks (journal, trace)
+       still drain, in their deterministic order, before the quiet
+       exit. Then stdout is pointed at /dev/null: the runtime's own
+       at_exit flushers (Format's standard formatters, the channel
+       table) would otherwise hit the dead pipe, re-raise, and turn
+       the quiet exit into a fatal uncaught exception. *)
+    flush_telemetry ();
+    (try
+       let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+       Unix.dup2 null Unix.stdout;
+       Unix.close null
+     with Unix.Unix_error _ -> ());
     (try flush stderr with Sys_error _ -> ());
     exit 1
   | Sys_error msg ->
@@ -172,33 +197,54 @@ let rec handle_exn = function
   | e ->
     (* Anything else is a compiler defect, not a user mistake: report it
        as such, with the phase, and use a distinct exit code so scripts
-       can tell ICEs from rejected programs. *)
+       can tell ICEs from rejected programs. When the flight recorder
+       is on, its tail is the crash report's context. *)
     Printf.eprintf "mascc: internal compiler error (phase: %s): %s\n"
       !current_phase (Printexc.to_string e);
+    if Masc_obs.Journal.is_enabled () then
+      prerr_string (Masc_obs.Journal.render_flight ~limit:32 ());
     exit 3
 
 let handle_errors f = try f () with e -> handle_exn e
 
 (* ---- telemetry ----
 
-   Dumps are registered with [at_exit] so they fire on every exit path
-   (success, diagnostics, traps): a failed compile still writes the
-   trace that explains where the time went. All of it goes to stderr or
-   to an explicit file, never stdout. *)
+   Sinks flush on every exit path (success, diagnostics, traps): a
+   failed compile still writes the trace that explains where the time
+   went. All sinks drain through ONE registry, in registration order
+   (journal, then trace, then metrics), exactly once — a single
+   [at_exit] hook rather than one per sink, so the order is
+   deterministic and an early explicit flush (the EPIPE path) does not
+   double-report. Each sink is individually EPIPE-proof: a consumer
+   closing stderr must not lose the file-bound sinks behind it. All of
+   it goes to stderr or to an explicit file, never stdout. *)
 
-let setup_telemetry ~trace ~metrics =
+let setup_telemetry ?(journal = None) ~trace ~metrics () =
+  (match journal with
+  | Some path ->
+    Masc_obs.Journal.enable ();
+    let oc = open_out path in
+    Masc_obs.Journal.stream_to oc;
+    register_flush (fun () ->
+        Masc_obs.Journal.close_stream ();
+        close_out_noerr oc;
+        Printf.eprintf "journal: wrote %s (%d events, %d dropped)\n%!" path
+          (Masc_obs.Journal.total ())
+          (Masc_obs.Journal.dropped ()))
+  | None -> ());
   (match trace with
   | Some path ->
     Masc_obs.Trace.enable ();
-    at_exit (fun () ->
+    register_flush (fun () ->
         write_file path (Masc_obs.Trace.chrome_json ());
         Printf.eprintf "trace: wrote %s\nspan summary:\n%s%!" path
           (Masc_obs.Trace.summary ()))
   | None -> ());
   if metrics then
-    at_exit (fun () ->
+    register_flush (fun () ->
         Masc_obs.Metrics.set "gc.minor_words" (Gc.minor_words ());
-        Printf.eprintf "metrics:\n%s%!" (Masc_obs.Metrics.dump_text ()))
+        Printf.eprintf "metrics:\n%s%!" (Masc_obs.Metrics.dump_text ()));
+  at_exit flush_telemetry
 
 (* ---- diagnostics reporting ---- *)
 
@@ -257,7 +303,7 @@ let do_compile files entry args_spec target isa_file opt_level coder
     no_vectorize no_complex output emit_header dump_stages opt_stats jobs
     cache_dir timeout diag_fmt werror trace metrics =
   handle_errors @@ fun () ->
-  setup_telemetry ~trace ~metrics;
+  setup_telemetry ~trace ~metrics ();
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
   let arg_types = parse_arg_spec args_spec in
@@ -379,7 +425,7 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
     no_complex seed show_output opt_stats cache_dir timeout diag_fmt werror
     fuel trace metrics profile profile_json =
   handle_errors @@ fun () ->
-  setup_telemetry ~trace ~metrics;
+  setup_telemetry ~trace ~metrics ();
   let isa = resolve_target target isa_file in
   let config = config_of ~isa ~coder ~opt_level ~no_vectorize ~no_complex in
   let source = read_file file in
@@ -468,9 +514,9 @@ let do_run file entry args_spec target isa_file opt_level coder no_vectorize
 (* ---- batch ---- *)
 
 let do_batch reqfile jobs target isa_file cache_dir timeout retries backoff_ms
-    quarantine fault_spec fault_seed summary trace metrics =
+    quarantine fault_spec fault_seed summary journal heartbeat trace metrics =
   handle_errors @@ fun () ->
-  setup_telemetry ~trace ~metrics;
+  setup_telemetry ~journal ~trace ~metrics ();
   let isa = resolve_target target isa_file in
   install_cache_dir cache_dir;
   (match fault_spec with
@@ -498,7 +544,80 @@ let do_batch reqfile jobs target isa_file cache_dir timeout retries backoff_ms
       retry_seed = fault_seed }
   in
   let jobs = if jobs <= 0 then Masc.Parallel.default_jobs () else jobs in
-  let outcomes = Batch.run ~jobs ~policy items in
+  (* --heartbeat: a sampling domain prints a [masc-health] line to
+     stderr every MS, fed by per-outcome callbacks from the worker
+     domains and by cache-counter deltas from the metrics registry. A
+     final line always prints after the batch, so even a batch shorter
+     than one period reports its health. *)
+  let health = Masc_obs.Health.create () in
+  let completed = Atomic.make 0 in
+  let total = List.length items in
+  let on_outcome =
+    match heartbeat with
+    | None -> None
+    | Some _ ->
+      Some
+        (fun (o : Req.outcome) ->
+          Masc_obs.Health.observe health
+            ~now_ms:(Masc_obs.Health.now_ms ())
+            ~ok:(Req.status_class o.Req.o_status = "ok")
+            ~latency_ms:o.Req.o_latency_ms;
+          Atomic.incr completed)
+  in
+  let feed_cache =
+    let seen_hits = ref 0 and seen_misses = ref 0 in
+    fun now_ms ->
+      let counter name =
+        int_of_float (Option.value ~default:0.0 (Masc_obs.Metrics.get name))
+      in
+      let feed seen n hit =
+        for _ = !seen + 1 to n do
+          Masc_obs.Health.observe_cache health ~now_ms ~hit
+        done;
+        seen := max !seen n
+      in
+      feed seen_hits (counter "compile.cache_hits") true;
+      feed seen_misses (counter "compile.cache_misses") false
+  in
+  let heartbeat_line () =
+    let now_ms = Masc_obs.Health.now_ms () in
+    feed_cache now_ms;
+    Printf.eprintf "%s\n%!"
+      (Masc_obs.Health.render
+         ~done_count:(Atomic.get completed)
+         ~total
+         (Masc_obs.Health.stats health ~now_ms))
+  in
+  let hb_stop = Atomic.make false in
+  let hb_domain =
+    match heartbeat with
+    | None -> None
+    | Some ms ->
+      Some
+        (Domain.spawn (fun () ->
+             let period_s = Float.max 0.001 (ms /. 1000.0) in
+             (* Sleep in short slices so the batch's final join is not
+                held hostage by a long --heartbeat period. *)
+             let rec wait remaining =
+               if (not (Atomic.get hb_stop)) && remaining > 0.0 then begin
+                 let slice = Float.min 0.05 remaining in
+                 Unix.sleepf slice;
+                 wait (remaining -. slice)
+               end
+             in
+             while not (Atomic.get hb_stop) do
+               wait period_s;
+               if not (Atomic.get hb_stop) then heartbeat_line ()
+             done))
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set hb_stop true;
+        Option.iter Domain.join hb_domain;
+        if heartbeat <> None then heartbeat_line ())
+      (fun () -> Batch.run ~jobs ?on_outcome ~policy items)
+  in
   (* Per-request lines in command-line order, whatever order the pool
      finished them in; summary counts last. *)
   List.iteri
@@ -525,6 +644,29 @@ let do_batch reqfile jobs target isa_file cache_dir timeout retries backoff_ms
      batch as a whole still succeeds, matching the soak contract
      (every request succeeds or is quarantined with a reason). *)
   if List.length outcomes - count "ok" - count "quarantined" > 0 then exit 1
+
+(* ---- bench diff ---- *)
+
+module BD = Masc_obs.Bench_diff
+
+let do_bench_diff old_file new_file max_ns max_alloc json_out =
+  handle_errors @@ fun () ->
+  current_phase := "bench-diff";
+  let old_text = read_file old_file in
+  let new_text = read_file new_file in
+  let thresholds =
+    { BD.max_ns_regress_pct = max_ns; max_alloc_regress_pct = max_alloc }
+  in
+  match BD.diff ~thresholds ~old_text ~new_text () with
+  | Error msg -> usage "bench diff: %s" msg
+  | Ok v ->
+    print_string (BD.render_text v);
+    (match json_out with
+    | Some path ->
+      write_file path (BD.render_json v);
+      Printf.eprintf "bench-diff: wrote %s\n" path
+    | None -> ());
+    if not v.BD.v_ok then exit 1
 
 (* ---- targets / kernels ---- *)
 
@@ -725,6 +867,47 @@ let summary_arg =
                  latency percentiles, retry/timeout/quarantine and \
                  cache counters) to $(docv)")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE.jsonl"
+           ~doc:"Stream the request-correlated flight recorder to \
+                 $(docv) as JSONL, one flushed line per event: request \
+                 lifecycle, retries, deadline hits, injected faults, \
+                 cache traffic, quarantine transitions, traps")
+
+let heartbeat_arg =
+  Arg.(value & opt (some float) None
+       & info [ "heartbeat" ] ~docv:"MS"
+           ~doc:"Print a [masc-health] status line (req/s, error rate, \
+                 cache hit rate, windowed p50/p99 latency, progress) to \
+                 stderr every $(docv) milliseconds, and once after the \
+                 batch")
+
+let bench_old_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"OLD.json" ~doc:"Baseline bench report")
+
+let bench_new_arg =
+  Arg.(required & pos 1 (some file) None
+       & info [] ~docv:"NEW.json" ~doc:"Candidate bench report")
+
+let max_ns_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-ns-regress" ] ~docv:"PCT"
+           ~doc:"Fail when any kernel's bechamel ns/run worsens by more \
+                 than $(docv) percent (default: warn only, past 25%)")
+
+let max_alloc_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-alloc-regress" ] ~docv:"PCT"
+           ~doc:"Fail when any kernel's minor words/run worsens by more \
+                 than $(docv) percent (default: warn only, past 25%)")
+
+let bench_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE.json"
+           ~doc:"Also write the verdict as JSON to $(docv)")
+
 (* The documented exit-code convention; cmdliner's own codes are folded
    into it at the bottom of [main]. *)
 let exits =
@@ -766,8 +949,24 @@ let batch_cmd =
     Term.(
       const do_batch $ batch_file_arg $ jobs_arg $ target_arg $ isa_arg
       $ cache_dir_arg $ timeout_arg $ retries_arg $ backoff_arg
-      $ quarantine_arg $ fault_arg $ fault_seed_arg $ summary_arg $ trace_arg
-      $ metrics_arg)
+      $ quarantine_arg $ fault_arg $ fault_seed_arg $ summary_arg
+      $ journal_arg $ heartbeat_arg $ trace_arg $ metrics_arg)
+
+let bench_cmd =
+  let diff_cmd =
+    let doc =
+      "compare two bench reports; exit 1 on a cycle-count change or a \
+       thresholded wall-clock/allocation regression"
+    in
+    Cmd.v
+      (Cmd.info "diff" ~doc ~exits)
+      Term.(
+        const do_bench_diff $ bench_old_arg $ bench_new_arg $ max_ns_arg
+        $ max_alloc_arg $ bench_json_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"bench report tooling (regression gate)" ~exits)
+    [ diff_cmd ]
 
 let targets_cmd =
   Cmd.v
@@ -792,7 +991,8 @@ let () =
   let code =
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ compile_cmd; run_cmd; batch_cmd; targets_cmd; kernels_cmd ])
+         [ compile_cmd; run_cmd; batch_cmd; bench_cmd; targets_cmd;
+           kernels_cmd ])
   in
   (* Fold cmdliner's reserved codes into the documented convention:
      124 (cli error) -> 2, 125 (internal) -> 3. *)

@@ -301,14 +301,17 @@ let cached_lookup config ~source ~entry ~arg_types compile_it =
   match mem_find key with
   | Some entry ->
     Masc_obs.Metrics.incr "compile.cache_hits";
+    Masc_obs.Journal.emit "cache.hit" ~detail:[ ("tier", "memory") ];
     `Hit entry
   | None -> (
     match disk_find config key with
     | Some entry ->
       Masc_obs.Metrics.incr "compile.cache_hits";
+      Masc_obs.Journal.emit "cache.hit" ~detail:[ ("tier", "disk") ];
       `Hit (mem_add key entry)
     | None ->
       Masc_obs.Metrics.incr "compile.cache_misses";
+      Masc_obs.Journal.emit "cache.miss";
       (match compile_it () with
       | None -> `Uncacheable
       | Some entry ->

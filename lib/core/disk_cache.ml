@@ -103,6 +103,7 @@ let parse_entry ~version ~key (raw : string) : string =
 
 let invalidate ~dir ~key =
   Masc_obs.Metrics.incr "cache.disk_corrupt";
+  Masc_obs.Journal.emit "cache.corrupt" ~detail:[ ("reason", "decode") ];
   unlink_quiet (path_of_key ~dir ~key)
 
 let find ~dir ~version ~key =
@@ -117,17 +118,19 @@ let find ~dir ~version ~key =
        error — the caller recompiles. *)
     Masc_obs.Metrics.incr "cache.disk_read_errors";
     Masc_obs.Metrics.incr "cache.disk_misses";
+    Masc_obs.Journal.emit "cache.read_error";
     None
   | raw -> (
     match parse_entry ~version ~key raw with
     | payload ->
       Masc_obs.Metrics.incr "cache.disk_hits";
       Some payload
-    | exception Corrupt _ ->
+    | exception Corrupt why ->
       (* Truncated / bit-flipped / version-skewed: count, delete so the
          next writer replaces it, and miss. *)
       Masc_obs.Metrics.incr "cache.disk_corrupt";
       Masc_obs.Metrics.incr "cache.disk_misses";
+      Masc_obs.Journal.emit "cache.corrupt" ~detail:[ ("reason", why) ];
       unlink_quiet path;
       None)
 
@@ -158,4 +161,5 @@ let store ~dir ~version ~key payload =
     (* Best-effort: a full disk or lost permission must not fail the
        compile it was trying to memoize. *)
     Masc_obs.Metrics.incr "cache.disk_write_errors";
+    Masc_obs.Journal.emit "cache.write_error";
     unlink_quiet tmp

@@ -1,0 +1,33 @@
+(** Sliding-window service health: req/s, error rate, cache hit rate
+    and windowed latency quantiles over the last [window_ms].
+
+    All observations and queries take an explicit [now_ms] so window
+    arithmetic is deterministic under test. A sample at [ts] is inside
+    the window at [now] iff [now -. ts < window_ms] (half-open). *)
+
+type t
+
+type stats = {
+  h_window_ms : float;
+  h_requests : int;  (** requests inside the window *)
+  h_req_per_s : float;
+  h_error_rate : float;  (** 0 when the window is empty *)
+  h_cache_hit_rate : float;  (** 0 when no cache events in window *)
+  h_p50_ms : float;
+  h_p99_ms : float;
+  h_total : int;  (** lifetime requests *)
+  h_total_err : int;
+}
+
+(** Monotonic wall clock in milliseconds — the [now_ms] feed for live
+    (non-test) use, same clock as {!Journal} timestamps. *)
+val now_ms : unit -> float
+
+val create : ?window_ms:float -> unit -> t
+
+val observe : t -> now_ms:float -> ok:bool -> latency_ms:float -> unit
+val observe_cache : t -> now_ms:float -> hit:bool -> unit
+val stats : t -> now_ms:float -> stats
+
+(** One [\[masc-health\]] status line (the [--heartbeat] format). *)
+val render : ?done_count:int -> ?total:int -> stats -> string

@@ -22,10 +22,17 @@ val get : string -> float option
 
 val reset : unit -> unit
 
-(** One line per metric, sorted by name. *)
+(** Exact nearest-rank quantile over an unsorted sample array
+    ([quantile xs 50.0] is the median; empty input yields 0). Shared by
+    the histogram dumps, [batch --summary] and [Health]. *)
+val quantile : float array -> float -> float
+
+(** One line per metric, sorted by name; histograms report exact
+    p50/p90/p99 from retained samples. *)
 val dump_text : unit -> string
 
 (** JSON object keyed by metric name, sorted; stable schema
     [{"type":"counter","value":n}] / [{"type":"gauge",...}] /
-    [{"type":"histogram","count":n,"sum":s,"min":m,"max":M}]. *)
+    [{"type":"histogram","count":n,"sum":s,"min":m,"max":M,
+      "p50":..,"p90":..,"p99":..}]. *)
 val dump_json : unit -> string

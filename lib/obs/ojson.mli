@@ -1,0 +1,21 @@
+(** Minimal strict JSON reader (no external dependency), used by the
+    [mascc bench diff] regression gate. Objects keep field order;
+    numbers parse to [float], exact for integer cycle counts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+val member : string -> t -> t option
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -12,6 +12,7 @@ type event = {
   ts_ns : int64;  (* start, relative to [t0] *)
   dur_ns : int64;
   tid : int;  (* Domain.self at record time *)
+  rid : int;  (* Journal request id at record time; -1 = none *)
   depth : int;  (* nesting depth within this domain at start *)
   args : (string * string) list;
 }
@@ -51,6 +52,7 @@ let span ?(cat = "stage") ?(args = []) name f =
   if not (Atomic.get enabled) then f ()
   else begin
     let tid = (Domain.self () :> int) in
+    let rid = Journal.current_rid () in
     let depth =
       Mutex.protect lock (fun () ->
           let d = try Hashtbl.find depths tid with Not_found -> 0 in
@@ -65,7 +67,7 @@ let span ?(cat = "stage") ?(args = []) name f =
           Hashtbl.replace depths tid (max 0 (d - 1));
           events :=
             { name; cat; ts_ns = Int64.sub start !t0; dur_ns = dur; tid;
-              depth; args }
+              rid; depth; args }
             :: !events);
       if !echo then
         Printf.eprintf "[masc-time] %-5s %-14s %8.3f ms\n%!" cat name
@@ -86,20 +88,13 @@ let dump () = Mutex.protect lock (fun () -> List.rev !events)
    The "JSON Array Format" with complete ("ph":"X") events; loadable in
    chrome://tracing and Perfetto. Timestamps are microseconds. *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Trace_escape.json
+
+(* Requests get their own lanes, offset past any plausible domain id,
+   so chrome://tracing shows one row per request instead of one
+   undifferentiated stream per domain. *)
+let lane_offset = 1000
+let lane_of ev = if ev.rid >= 0 then lane_offset + ev.rid else ev.tid
 
 let chrome_json () =
   let evs =
@@ -112,17 +107,44 @@ let chrome_json () =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
+  let first = ref true in
+  let add_event s =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b s
+  in
+  (* thread_name metadata labels each lane: request lanes by request
+     id, remaining lanes by domain id *)
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let lane = lane_of ev in
+      if not (Hashtbl.mem lanes lane) then begin
+        Hashtbl.replace lanes lane ();
+        let label =
+          if ev.rid >= 0 then Printf.sprintf "request %d" ev.rid
+          else Printf.sprintf "domain %d" ev.tid
+        in
+        add_event
+          (Printf.sprintf
+             "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             lane label)
+      end)
+    evs;
+  List.iter
+    (fun ev ->
+      add_event
         (Printf.sprintf
            "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
            (json_escape ev.name) (json_escape ev.cat)
            (Int64.to_float ev.ts_ns /. 1e3)
            (Int64.to_float ev.dur_ns /. 1e3)
-           ev.tid);
-      (match ev.args with
+           (lane_of ev));
+      let args =
+        if ev.rid >= 0 then ("rid", string_of_int ev.rid) :: ev.args
+        else ev.args
+      in
+      (match args with
       | [] -> ()
       | args ->
         Buffer.add_string b ",\"args\":{";

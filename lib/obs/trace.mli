@@ -16,6 +16,7 @@ type event = {
   ts_ns : int64;  (** span start, ns, relative to trace start *)
   dur_ns : int64;
   tid : int;  (** domain id *)
+  rid : int;  (** [Journal] request id at record time; -1 = none *)
   depth : int;  (** nesting depth within the domain *)
   args : (string * string) list;
 }
@@ -39,7 +40,10 @@ val dump : unit -> event list
 val reset : unit -> unit
 
 (** Chrome trace_event "JSON Array Format": complete ("ph":"X") events,
-    microsecond timestamps, pid 1, tid = domain id. *)
+    microsecond timestamps, pid 1. Spans recorded inside a
+    [Journal.with_request] context render on a per-request lane
+    (tid 1000+rid, labelled by thread_name metadata); everything else
+    stays on its domain lane. *)
 val chrome_json : unit -> string
 
 (** Plain-text tree: per-domain span forests merged by span name, with

@@ -245,27 +245,43 @@ let parse ~default_isa text =
 
 (* ---- execution ---- *)
 
-let run ?(jobs = 1) ~policy items =
+let op_name = function Request.Compile -> "compile" | Request.Run -> "run"
+
+let run ?(jobs = 1) ?on_outcome ~policy items =
   let breaker = Request.create_breaker () in
+  (* Acceptance events land before dispatch, in input order, so the
+     journal opens with the batch's full manifest. *)
+  List.iter
+    (fun it ->
+      Masc_obs.Journal.emit ~rid:it.bx_index "request.accepted"
+        ~detail:
+          [ ("label", it.bx_label); ("op", op_name it.bx_op);
+            ( "parse",
+              match it.bx_parsed with Ok _ -> "ok" | Error _ -> "invalid" ) ])
+    items;
   let exec it =
-    match it.bx_parsed with
-    | Error msg ->
-      Masc_obs.Metrics.incr "svc.requests";
-      Masc_obs.Metrics.incr "svc.status.invalid";
-      {
-        Request.o_label = it.bx_label;
-        o_op = it.bx_op;
-        o_status = Request.Invalid msg;
-        o_latency_ms = 0.0;
-        o_retries = 0;
-      }
-    | Ok spec -> Request.execute ~breaker ~policy spec
+    let outcome =
+      match it.bx_parsed with
+      | Error msg ->
+        Masc_obs.Metrics.incr "svc.requests";
+        Masc_obs.Metrics.incr "svc.status.invalid";
+        Masc_obs.Journal.emit ~rid:it.bx_index "request.done"
+          ~detail:[ ("class", "invalid"); ("retries", "0") ];
+        {
+          Request.o_label = it.bx_label;
+          o_op = it.bx_op;
+          o_status = Request.Invalid msg;
+          o_latency_ms = 0.0;
+          o_retries = 0;
+        }
+      | Ok spec -> Request.execute ~breaker ~rid:it.bx_index ~policy spec
+    in
+    (match on_outcome with Some f -> f outcome | None -> ());
+    outcome
   in
   (* Request.execute never raises, so Worker_failed is unreachable and
      per-item isolation survives the pool. *)
   Masc.Parallel.map ~jobs exec items
-
-let op_name = function Request.Compile -> "compile" | Request.Run -> "run"
 
 let render_line ~index (o : Request.outcome) =
   Printf.sprintf "req %d %s %s %s retries=%d %s latency_ms=%.2f" index
@@ -291,14 +307,6 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    (* nearest-rank *)
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-
 let metric name =
   int_of_float (Option.value ~default:0.0 (Masc_obs.Metrics.get name))
 
@@ -307,7 +315,7 @@ let summary_json (outcomes : Request.outcome list) =
   let lat =
     Array.of_list (List.map (fun o -> o.Request.o_latency_ms) outcomes)
   in
-  Array.sort compare lat;
+  let percentile samples p = Masc_obs.Metrics.quantile samples p in
   let count cls =
     List.length
       (List.filter
@@ -318,17 +326,30 @@ let summary_json (outcomes : Request.outcome list) =
   let n = List.length outcomes in
   List.iteri
     (fun i (o : Request.outcome) ->
+      (* Non-ok outcomes cite their flight-recorder offsets: with no
+         drops, journal seq = JSONL line index, so the summary alone
+         tells you where in the journal the failure story lives. *)
+      let journal =
+        if
+          Masc_obs.Journal.is_enabled ()
+          && Request.status_class o.Request.o_status <> "ok"
+        then
+          let seqs = Masc_obs.Journal.seqs_for ~rid:i in
+          Printf.sprintf ", \"journal\": [%s]"
+            (String.concat ", " (List.map string_of_int seqs))
+        else ""
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"index\": %d, \"label\": \"%s\", \"op\": \"%s\", \
             \"status\": \"%s\", \"detail\": \"%s\", \"retries\": %d, \
-            \"latency_ms\": %.3f}%s\n"
+            \"latency_ms\": %.3f%s}%s\n"
            i
            (json_escape o.Request.o_label)
            (op_name o.Request.o_op)
            (Request.status_class o.Request.o_status)
            (json_escape (Request.status_detail o.Request.o_status))
-           o.Request.o_retries o.Request.o_latency_ms
+           o.Request.o_retries o.Request.o_latency_ms journal
            (if i = n - 1 then "" else ",")))
     outcomes;
   Buffer.add_string b "  ],\n";
@@ -344,7 +365,7 @@ let summary_json (outcomes : Request.outcome list) =
        "  \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
         \"max\": %.3f},\n"
        (percentile lat 50.0) (percentile lat 90.0) (percentile lat 99.0)
-       (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1)));
+       (Array.fold_left Float.max 0.0 lat));
   Buffer.add_string b
     (Printf.sprintf
        "  \"retries\": %d,\n  \"timeouts\": %d,\n  \"quarantined\": %d,\n"

@@ -43,9 +43,19 @@ val parse : default_isa:Masc_asip.Isa.t -> string -> item list
 
 (** Execute every item under the policy with a shared circuit breaker.
     [jobs <= 1] runs sequentially. Outcomes are in item order; invalid
-    items yield an {!Request.Invalid} outcome without executing. *)
+    items yield an {!Request.Invalid} outcome without executing.
+
+    Every item is journaled as [request.accepted] (rid = [bx_index])
+    before dispatch, and each request executes under that rid as its
+    {!Masc_obs.Journal} correlation context. [on_outcome] is called
+    once per completed request, from the worker domain that ran it
+    (callers must synchronize) — it feeds live health reporting. *)
 val run :
-  ?jobs:int -> policy:Request.policy -> item list -> Request.outcome list
+  ?jobs:int ->
+  ?on_outcome:(Request.outcome -> unit) ->
+  policy:Request.policy ->
+  item list ->
+  Request.outcome list
 
 (** One deterministic report line per request, e.g.
     [req 3 ok run kernel:fft retries=0 cycles=9188 dyn=5120 latency_ms=1.42]
@@ -55,5 +65,7 @@ val render_line : index:int -> Request.outcome -> string
 (** JSON summary: per-request records (in order), counts by status
     class, latency percentiles (nearest-rank p50/p90/p99 and max),
     total retries, and the fault / cache / service counters from
-    {!Masc_obs.Metrics}. *)
+    {!Masc_obs.Metrics}. When the journal is enabled, every non-ok
+    request record carries a ["journal"] array of its flight-recorder
+    event offsets. *)
 val summary_json : Request.outcome list -> string

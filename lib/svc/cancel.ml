@@ -25,6 +25,8 @@ let check () =
   | Some { deadline_ns; budget_ms } when Int64.compare (now_ns ()) deadline_ns > 0
     ->
     Masc_obs.Metrics.incr "svc.deadline_hits";
+    Masc_obs.Journal.emit "deadline.hit"
+      ~detail:[ ("budget_ms", Printf.sprintf "%g" budget_ms) ];
     raise (Deadline_exceeded { budget_ms })
   | _ -> ()
 

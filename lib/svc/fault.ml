@@ -165,9 +165,12 @@ let armed site =
   | None -> false
   | Some cfg -> find_site cfg site <> None
 
-let injected ~site ~occurrence =
+let injected ?(detail = []) ~site ~occurrence () =
   Masc_obs.Metrics.incr "fault.injected";
   Masc_obs.Metrics.incr ("fault.injected." ^ site);
+  Masc_obs.Journal.emit "fault.injected"
+    ~detail:
+      (("site", site) :: ("occurrence", string_of_int occurrence) :: detail);
   Injected { site; occurrence }
 
 let draw site =
@@ -181,7 +184,7 @@ let draw site =
       let u, step = decision ~seed:cfg.seed ~site ~k in
       if u < ss.prob then Some (k, step) else None)
 
-let check site =
+let check ?detail site =
   match draw site with
   | None -> ()
-  | Some (occurrence, _step) -> raise (injected ~site ~occurrence)
+  | Some (occurrence, _step) -> raise (injected ?detail ~site ~occurrence ())

@@ -57,10 +57,12 @@ val init_from_env : unit -> bool
     a hot loop to skip even the check call. *)
 val armed : string -> bool
 
-(** [check site] draws the site's next occurrence and raises
+(** [check ?detail site] draws the site's next occurrence and raises
     {!Injected} with probability p. Counts every injection in
-    {!Masc_obs.Metrics} (["fault.injected"], ["fault.injected.<site>"]). *)
-val check : string -> unit
+    {!Masc_obs.Metrics} (["fault.injected"], ["fault.injected.<site>"])
+    and journals it ({!Masc_obs.Journal}, kind ["fault.injected"]) with
+    any extra [detail] pairs — e.g. the pass name at ["pass.run"]. *)
+val check : ?detail:(string * string) list -> string -> unit
 
 (** [draw site] is {!check} for code that needs to *schedule* the
     failure rather than fail at the check point: [None] when the
@@ -70,7 +72,8 @@ val check : string -> unit
     caller raises {!injected}. *)
 val draw : string -> (int * int) option
 
-(** [injected ~site ~occurrence] counts the injection metrics and
-    returns the {!Injected} exception for the caller to raise at its
-    scheduled point. *)
-val injected : site:string -> occurrence:int -> exn
+(** [injected ?detail ~site ~occurrence ()] counts the injection
+    metrics, journals the event, and returns the {!Injected} exception
+    for the caller to raise at its scheduled point. *)
+val injected :
+  ?detail:(string * string) list -> site:string -> occurrence:int -> unit -> exn

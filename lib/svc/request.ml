@@ -13,6 +13,7 @@ module C = Masc.Compiler
 module Fault = Masc_fault.Fault
 module Cancel = Masc_fault.Cancel
 module Metrics = Masc_obs.Metrics
+module Journal = Masc_obs.Journal
 
 type op = Compile | Run
 
@@ -94,12 +95,24 @@ let breaker_open b ~key ~threshold =
       | Some n -> n >= threshold
       | None -> false)
 
-let breaker_note b ~key ~failed =
+let breaker_note b ~key ~threshold ~failed =
   Mutex.protect b.mu (fun () ->
-      if failed then
-        let n = Option.value ~default:0 (Hashtbl.find_opt b.fails key) in
-        Hashtbl.replace b.fails key (n + 1)
-      else Hashtbl.remove b.fails key)
+      if failed then begin
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt b.fails key) in
+        Hashtbl.replace b.fails key n;
+        (* Journal the open exactly at the crossing, so the flight
+           recorder shows the transition once, not every rejection. *)
+        if n = threshold then
+          Journal.emit "quarantine.open"
+            ~detail:[ ("input", key); ("failures", string_of_int n) ]
+      end
+      else
+        match Hashtbl.find_opt b.fails key with
+        | Some n ->
+          Hashtbl.remove b.fails key;
+          Journal.emit "quarantine.close"
+            ~detail:[ ("input", key); ("cleared", string_of_int n) ]
+        | None -> ())
 
 (* ---- deterministic inputs (shared with mascc run) ---- *)
 
@@ -216,20 +229,29 @@ let breaker_counts = function
   | Timed_out _ | Quarantined _ | Crashed _ -> true
   | Ok_run _ | Ok_compile _ | Rejected _ | Trapped _ | Invalid _ -> false
 
-let execute ?breaker ~policy (s : spec) : outcome =
+let execute ?breaker ?(rid = -1) ~policy (s : spec) : outcome =
+  Journal.with_request ~rid @@ fun () ->
   Metrics.incr "svc.requests";
   let key = input_key s in
   let t0 = now_ms () in
   let finish ~retries status =
     (match breaker with
-    | Some b -> breaker_note b ~key ~failed:(breaker_counts status)
+    | Some b ->
+      breaker_note b ~key ~threshold:policy.quarantine_after
+        ~failed:(breaker_counts status)
     | None -> ());
     Metrics.incr ("svc.status." ^ status_class status);
+    let latency = now_ms () -. t0 in
+    Journal.emit "request.done"
+      ~detail:
+        [ ("class", status_class status);
+          ("retries", string_of_int retries);
+          ("latency_ms", Printf.sprintf "%.3f" latency) ];
     {
       o_label = s.label;
       o_op = s.op;
       o_status = status;
-      o_latency_ms = now_ms () -. t0;
+      o_latency_ms = latency;
       o_retries = retries;
     }
   in
@@ -243,6 +265,12 @@ let execute ?breaker ~policy (s : spec) : outcome =
        re-count a failure nor reset. *)
     Metrics.incr "svc.quarantined";
     Metrics.incr "svc.status.quarantined";
+    Journal.emit "quarantine.hit" ~detail:[ ("input", key) ];
+    let latency = now_ms () -. t0 in
+    Journal.emit "request.done"
+      ~detail:
+        [ ("class", "quarantined"); ("retries", "0");
+          ("latency_ms", Printf.sprintf "%.3f" latency) ];
     {
       o_label = s.label;
       o_op = s.op;
@@ -253,15 +281,24 @@ let execute ?breaker ~policy (s : spec) : outcome =
               Printf.sprintf "circuit open after %d consecutive failures"
                 policy.quarantine_after;
           };
-      o_latency_ms = now_ms () -. t0;
+      o_latency_ms = latency;
       o_retries = 0;
     }
   end
   else
     let rec go attempt_no =
+      Journal.set_attempt attempt_no;
+      Journal.emit "attempt.start";
+      let ended cls detail =
+        Journal.emit "attempt.end" ~detail:(("class", cls) :: detail)
+      in
       match attempt s with
-      | status -> finish ~retries:attempt_no status
+      | status ->
+        ended (status_class status) [];
+        finish ~retries:attempt_no status
       | exception Fault.Injected { site; occurrence } ->
+        ended "fault"
+          [ ("site", site); ("occurrence", string_of_int occurrence) ];
         if attempt_no >= policy.max_retries then begin
           Metrics.incr "svc.quarantined";
           finish ~retries:attempt_no
@@ -292,15 +329,22 @@ let execute ?breaker ~policy (s : spec) : outcome =
               (Cancel.Deadline_exceeded
                  { budget_ms = Option.value ~default:0.0 policy.timeout_ms })
           | _ -> ());
+          Journal.emit "retry.backoff"
+            ~detail:
+              [ ("site", site);
+                ("next_attempt", string_of_int (attempt_no + 1));
+                ("delay_ms", Printf.sprintf "%.3f" delay) ];
           sleep_ms delay;
           go (attempt_no + 1)
         end
       | exception Cancel.Deadline_exceeded { budget_ms } ->
+        ended "timeout" [];
         Metrics.incr "svc.timeouts";
         finish ~retries:attempt_no (Timed_out { budget_ms })
       | exception e ->
         (* Crash isolation: anything unexpected is contained to this
            request and reported, not propagated into the batch. *)
+        ended "crashed" [];
         finish ~retries:attempt_no (Crashed (Printexc.to_string e))
     in
     let body () = go 0 in

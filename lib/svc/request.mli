@@ -91,5 +91,10 @@ val status_class : status -> string
 (** Human-oriented detail suffix ([cycles=...], [reason="..."], ...). *)
 val status_detail : status -> string
 
-(** Run one request under the policy. Never raises. *)
-val execute : ?breaker:breaker -> policy:policy -> spec -> outcome
+(** Run one request under the policy. Never raises. [rid] (default -1)
+    is the request's journal/trace correlation id: it is installed as
+    the domain-local {!Masc_obs.Journal} context for the request's
+    whole extent, so every journal event and trace span recorded
+    below — attempts, retries, faults, cache traffic, traps — carries
+    it. *)
+val execute : ?breaker:breaker -> ?rid:int -> policy:policy -> spec -> outcome

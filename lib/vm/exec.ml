@@ -49,6 +49,21 @@ let default_max_alloc_bytes = 268_435_456 (* 256 MiB *)
    mask is shared so the two engines cancel at the same step. *)
 let guard_mask = 1023
 
+let trap_kind_name = function
+  | Fuel_exhausted _ -> "fuel"
+  | Cycle_limit _ -> "cycle_limit"
+  | Alloc_limit _ -> "alloc_limit"
+
+(* Every trap funnels through here so the flight recorder sees it with
+   the raising request's context; a trap fires at most once per run, so
+   the journal emission never touches the per-instruction hot path. *)
+let raise_trap ~kind ~loc ~steps_executed =
+  Masc_obs.Journal.emit "trap.raised"
+    ~detail:
+      [ ("trap", trap_kind_name kind); ("loc", loc);
+        ("steps", string_of_int steps_executed) ];
+  raise (Trap { kind; loc; steps_executed })
+
 let trap_message ~kind ~loc ~steps_executed =
   match kind with
   | Fuel_exhausted { fuel } ->
@@ -92,10 +107,9 @@ let array_bytes_of_func (f : Mir.func) =
 
 let check_alloc ~loc ~cap_bytes bytes =
   if bytes > cap_bytes then
-    raise
-      (Trap
-         { kind = Alloc_limit { requested_bytes = bytes; cap_bytes }; loc;
-           steps_executed = 0 })
+    raise_trap
+      ~kind:(Alloc_limit { requested_bytes = bytes; cap_bytes })
+      ~loc ~steps_executed:0
 
 let scalar_of_value = function
   | Value.Scalar s -> s

@@ -50,6 +50,12 @@ val guard_mask : int
     instructions, riding the fuel accounting; shared so a deadline
     cancels at the same step in either engine. *)
 
+(** Raise {!Trap}, journaling it first ({!Masc_obs.Journal}, kind
+    ["trap.raised"]) so the flight recorder ties the trap to the
+    raising request. All trap sites in both engines funnel through
+    this. *)
+val raise_trap : kind:trap_kind -> loc:string -> steps_executed:int -> 'a
+
 (** Human-readable rendering of a trap. *)
 val trap_message : kind:trap_kind -> loc:string -> steps_executed:int -> string
 

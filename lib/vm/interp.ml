@@ -81,17 +81,16 @@ let charge st line cls cycles =
   if st.guard_on && st.dyn land Exec.guard_mask = 0 then
     Masc_fault.Cancel.check ();
   if st.dyn = st.fault_step then
-    raise (Masc_fault.Fault.injected ~site:"sim.step" ~occurrence:st.fault_occ);
+    raise
+      (Masc_fault.Fault.injected ~site:"sim.step" ~occurrence:st.fault_occ ());
   if st.dyn > st.fuel then
-    raise
-      (Exec.Trap
-         { kind = Exec.Fuel_exhausted { fuel = st.fuel }; loc = st.floc;
-           steps_executed = st.dyn });
+    Exec.raise_trap
+      ~kind:(Exec.Fuel_exhausted { fuel = st.fuel })
+      ~loc:st.floc ~steps_executed:st.dyn;
   if st.cycles > st.max_cycles then
-    raise
-      (Exec.Trap
-         { kind = Exec.Cycle_limit { max_cycles = st.max_cycles };
-           loc = st.floc; steps_executed = st.dyn })
+    Exec.raise_trap
+      ~kind:(Exec.Cycle_limit { max_cycles = st.max_cycles })
+      ~loc:st.floc ~steps_executed:st.dyn
 
 let cell st (v : Mir.var) =
   match Hashtbl.find_opt st.cells v.Mir.vid with

@@ -234,3 +234,82 @@ timeout, in its slot, without hanging the batch:
   batch: total=1 ok=0 rejected=0 trapped=0 timeout=1 quarantined=0 crashed=0 invalid=0
   $ printf 'run kernel:matmul\n' | mascc batch --compile-timeout 0.001 > /dev/null; echo "exit=$?"
   exit=1
+
+The flight recorder streams request-correlated events as JSONL (one
+flushed line per event), and the batch summary cites each non-ok
+request's journal offsets:
+
+  $ mascc batch reqs.txt --journal j.jsonl --summary jsum.json >/dev/null 2>journal.err; echo "exit=$?"
+  exit=1
+  $ grep -o 'journal: wrote j.jsonl' journal.err
+  journal: wrote j.jsonl
+  $ grep -c '"kind":"request.accepted"' j.jsonl
+  4
+  $ grep -c '"kind":"request.done"' j.jsonl
+  4
+  $ grep -c '"kind":"attempt.start"' j.jsonl
+  3
+  $ grep -c '"kind":"cache.miss"' j.jsonl
+  3
+  $ grep -o '"rid":2,"attempt":-1,"dom":[0-9]*,"kind":"request.done","class":"invalid"' j.jsonl
+  "rid":2,"attempt":-1,"dom":0,"kind":"request.done","class":"invalid"
+  $ grep -o '"status": "invalid", .*"journal": \[[0-9, ]*\]' jsum.json | sed 's/"detail[^,]*", //;s/"retries[^,]*, //;s/"latency[^,]*, //'
+  "status": "invalid", "journal": [2, 12]
+
+A consumer that closes the pipe early ends the run quietly — no
+uncaught exception — and the file-bound telemetry sinks still drain,
+in their registration order, before the exit:
+
+  $ mascc batch reqs.txt --journal early.jsonl 2>early.err | head -1 | sed 's/ latency_ms=.*//'
+  req 0 ok run kernel:fir retries=0 cycles=49039 dyn=40967
+  $ grep -o 'journal: wrote early.jsonl' early.err
+  journal: wrote early.jsonl
+  $ grep -c 'Fatal error' early.err || true
+  0
+  $ sed 's/"ts_ns":[0-9]*/"ts_ns":0/g; s/_ms":"[0-9.]*"/_ms":"0"/g' j.jsonl > j.norm
+  $ sed 's/"ts_ns":[0-9]*/"ts_ns":0/g; s/_ms":"[0-9.]*"/_ms":"0"/g' early.jsonl > early.norm
+  $ diff j.norm early.norm && echo journals-identical
+  journals-identical
+
+--heartbeat prints a live [masc-health] line every period and always
+one final line after the batch, on stderr only:
+
+  $ mascc batch reqs.txt --heartbeat 60000 >/dev/null 2>hb.err; echo "exit=$?"
+  exit=1
+  $ grep -c '\[masc-health\]' hb.err
+  1
+  $ grep -o '4/4 done' hb.err
+  4/4 done
+
+The bench regression gate compares two bench reports: cycle tables
+must be bit-identical; wall-clock drift warns by default and fails
+only past an explicit threshold:
+
+  $ cat > bench_old.json <<'EOF'
+  > {"schema_version": 5,
+  >  "table2": [{"kernel": "fir", "baseline_cycles": 100, "proposed_cycles": 10, "speedup": 10.0, "passes_run": 1, "passes_skipped": 0}],
+  >  "fig3": [{"kernel": "fir", "speedup_vs_baseline": {"scalar": 1.0, "dsp4": 2.0, "dsp8": 4.0, "dsp16": 8.0}}],
+  >  "bechamel_ns_per_run": [{"name": "fir/total", "ns_per_run": 100.0, "minor_words_per_run": 5.0}]}
+  > EOF
+  $ mascc bench diff bench_old.json bench_old.json
+  ok   schema           v5 -> v5
+  ok   cycles fir       bit-identical
+  ok   fig3             speedup matrix bit-identical
+  ok   ns_per_run       1 entries, worst regression +0.0%
+  ok   alloc            1 entries, worst regression +0.0%
+  bench diff: OK (5 checks, 0 failed, 0 warnings)
+  $ sed 's/"proposed_cycles": 10,/"proposed_cycles": 11,/' bench_old.json > bench_drift.json
+  $ mascc bench diff bench_old.json bench_drift.json | grep -E 'FAIL|bench diff'
+  FAIL cycles fir       proposed_cycles 10 -> 11
+  bench diff: FAIL (5 checks, 1 failed, 0 warnings)
+  $ mascc bench diff bench_old.json bench_drift.json >/dev/null; echo "exit=$?"
+  exit=1
+  $ sed 's/"ns_per_run": 100.0,/"ns_per_run": 160.0,/' bench_old.json > bench_slow.json
+  $ mascc bench diff bench_old.json bench_slow.json | tail -1
+  bench diff: OK (5 checks, 0 failed, 1 warnings)
+  $ mascc bench diff bench_old.json bench_slow.json >/dev/null; echo "exit=$?"
+  exit=0
+  $ mascc bench diff bench_old.json bench_slow.json --max-ns-regress 10 --json bverdict.json >/dev/null 2>&1; echo "exit=$?"
+  exit=1
+  $ grep -o '"ok":false' bverdict.json
+  "ok":false

@@ -350,6 +350,291 @@ let test_profiling_is_transparent () =
   Alcotest.(check int) "snapshot total matches run" profiled.I.cycles
     snap.Obs.Profile.total_cycles
 
+(* ---- journal (flight recorder) ---- *)
+
+let test_journal_lifecycle () =
+  Obs.Journal.enable ();
+  Obs.Journal.reset ();
+  Obs.Journal.emit "proc.start";
+  Obs.Journal.with_request ~rid:7 (fun () ->
+      Alcotest.(check int) "context installed" 7 (Obs.Journal.current_rid ());
+      Obs.Journal.set_attempt 2;
+      Obs.Journal.emit "attempt.start";
+      Obs.Journal.emit ~detail:[ ("site", "cache.read") ] "fault.injected");
+  Alcotest.(check int) "context restored" (-1) (Obs.Journal.current_rid ());
+  Obs.Journal.emit ~rid:9 "request.done";
+  let evs = Obs.Journal.events () in
+  Alcotest.(check int) "four events" 4 (List.length evs);
+  Alcotest.(check (list int)) "seq is arrival order" [ 0; 1; 2; 3 ]
+    (List.map (fun (e : Obs.Journal.event) -> e.Obs.Journal.seq) evs);
+  Alcotest.(check (list int)) "rid stamped from context" [ -1; 7; 7; 9 ]
+    (List.map (fun (e : Obs.Journal.event) -> e.Obs.Journal.rid) evs);
+  Alcotest.(check (list int)) "attempt stamped" [ -1; 2; 2; -1 ]
+    (List.map (fun (e : Obs.Journal.event) -> e.Obs.Journal.attempt) evs);
+  Alcotest.(check (list int)) "seqs_for one request" [ 1; 2 ]
+    (Obs.Journal.seqs_for ~rid:7);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "each JSONL line valid" true (json_valid line))
+    (String.split_on_char '\n' (String.trim (Obs.Journal.to_jsonl ())));
+  let flight = Obs.Journal.render_flight () in
+  Alcotest.(check bool) "flight dump tagged" true
+    (contains ~sub:"[flight] #" flight);
+  Alcotest.(check bool) "flight dump carries detail" true
+    (contains ~sub:"site=cache.read" flight);
+  Obs.Journal.disable ();
+  Obs.Journal.emit "ignored";
+  Alcotest.(check int) "disabled emit is dropped" 0 (Obs.Journal.total ());
+  Alcotest.(check int) "disabled rid is -1" (-1) (Obs.Journal.current_rid ())
+
+let test_journal_ring_bounds () =
+  Obs.Journal.enable ~capacity:8 ();
+  for i = 0 to 19 do
+    Obs.Journal.emit ~detail:[ ("i", string_of_int i) ] "tick"
+  done;
+  Alcotest.(check int) "total counts every emission" 20 (Obs.Journal.total ());
+  Alcotest.(check int) "drop counter is honest" 12 (Obs.Journal.dropped ());
+  let evs = Obs.Journal.events () in
+  Alcotest.(check (list int)) "ring keeps the newest, in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : Obs.Journal.event) -> e.Obs.Journal.seq) evs);
+  Obs.Journal.disable ()
+
+let test_journal_stream () =
+  let path = Filename.temp_file "masc_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Journal.enable ();
+      let oc = open_out path in
+      Obs.Journal.stream_to oc;
+      Obs.Journal.emit "one";
+      Obs.Journal.emit ~detail:[ ("k", "v\"q") ] "two";
+      Obs.Journal.close_stream ();
+      close_out oc;
+      Obs.Journal.disable ();
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "streamed line is valid JSON" true
+            (json_valid l))
+        lines;
+      Alcotest.(check bool) "detail escaped into the stream" true
+        (contains ~sub:"\"k\":\"v\\\"q\"" (List.nth lines 1)))
+
+let test_journal_normalize () =
+  let line =
+    "{\"seq\":3,\"ts_ns\":123456,\"rid\":1,\"attempt\":0,\"dom\":2,\
+     \"kind\":\"retry.backoff\",\"delay_ms\":\"1.495\",\"site\":\"cache.read\"}"
+  in
+  let norm = Obs.Journal.normalize_line line in
+  Alcotest.(check string) "times zeroed, the rest untouched"
+    "{\"seq\":3,\"ts_ns\":0,\"rid\":1,\"attempt\":0,\"dom\":2,\
+     \"kind\":\"retry.backoff\",\"delay_ms\":\"0\",\"site\":\"cache.read\"}"
+    norm;
+  Alcotest.(check bool) "normalized line still valid JSON" true
+    (json_valid norm);
+  Alcotest.(check string) "idempotent" norm (Obs.Journal.normalize_line norm)
+
+(* ---- trace request lanes ---- *)
+
+let test_trace_request_lanes () =
+  Obs.Journal.enable ();
+  Obs.Journal.reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.reset ();
+  Obs.Trace.span ~cat:"stage" "unscoped" (fun () -> ());
+  Obs.Journal.with_request ~rid:3 (fun () ->
+      Obs.Trace.span ~cat:"stage" "scoped" (fun () -> ()));
+  let evs = Obs.Trace.dump () in
+  let by_name name =
+    List.find (fun (e : Obs.Trace.event) -> e.Obs.Trace.name = name) evs
+  in
+  Alcotest.(check int) "span outside a request has rid -1" (-1)
+    (by_name "unscoped").Obs.Trace.rid;
+  Alcotest.(check int) "span inside a request captures its rid" 3
+    (by_name "scoped").Obs.Trace.rid;
+  let js = Obs.Trace.chrome_json () in
+  Alcotest.(check bool) "chrome trace valid" true (json_valid js);
+  Alcotest.(check bool) "request lane tid = 1000+rid" true
+    (contains ~sub:"\"tid\":1003" js);
+  Alcotest.(check bool) "request lane labelled" true
+    (contains ~sub:"request 3" js);
+  Alcotest.(check bool) "rid surfaced in span args" true
+    (contains ~sub:"\"rid\":\"3\"" js);
+  Obs.Journal.disable ()
+
+(* ---- metrics quantiles ---- *)
+
+let test_metrics_quantiles () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0 (Obs.Metrics.quantile xs 50.0);
+  Alcotest.(check (float 0.0)) "p90 of 1..100" 90.0 (Obs.Metrics.quantile xs 90.0);
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 99.0 (Obs.Metrics.quantile xs 99.0);
+  Alcotest.(check (float 0.0)) "p100 clamps to max" 100.0
+    (Obs.Metrics.quantile xs 100.0);
+  Alcotest.(check (float 0.0)) "empty input is 0" 0.0
+    (Obs.Metrics.quantile [||] 50.0);
+  Alcotest.(check (float 0.0)) "single sample" 7.5
+    (Obs.Metrics.quantile [| 7.5 |] 99.0);
+  (* unsorted input must not matter *)
+  Alcotest.(check (float 0.0)) "input order irrelevant" 3.0
+    (Obs.Metrics.quantile [| 5.0; 1.0; 3.0; 4.0; 2.0 |] 50.0);
+  Obs.Metrics.reset ();
+  for i = 1 to 100 do
+    Obs.Metrics.observe "lat" (float_of_int i)
+  done;
+  let text = Obs.Metrics.dump_text () in
+  Alcotest.(check bool) "text dump has exact quantiles" true
+    (contains ~sub:"p50=50" text && contains ~sub:"p99=99" text);
+  let js = Obs.Metrics.dump_json () in
+  Alcotest.(check bool) "json dump valid with quantiles" true
+    (json_valid js && contains ~sub:"\"p99\":99" js);
+  Obs.Metrics.reset ()
+
+(* ---- health window arithmetic ---- *)
+
+let test_health_window () =
+  let h = Obs.Health.create ~window_ms:1000.0 () in
+  Obs.Health.observe h ~now_ms:0.0 ~ok:true ~latency_ms:10.0;
+  Obs.Health.observe h ~now_ms:400.0 ~ok:false ~latency_ms:30.0;
+  Obs.Health.observe h ~now_ms:800.0 ~ok:true ~latency_ms:20.0;
+  let st = Obs.Health.stats h ~now_ms:900.0 in
+  Alcotest.(check int) "all three in window" 3 st.Obs.Health.h_requests;
+  Alcotest.(check (float 1e-9)) "req/s over the window" 3.0
+    st.Obs.Health.h_req_per_s;
+  Alcotest.(check (float 1e-9)) "error rate" (1.0 /. 3.0)
+    st.Obs.Health.h_error_rate;
+  Alcotest.(check (float 1e-9)) "windowed p50" 20.0 st.Obs.Health.h_p50_ms;
+  Alcotest.(check (float 1e-9)) "windowed p99" 30.0 st.Obs.Health.h_p99_ms;
+  (* Half-open boundary: a sample exactly one window old is OUT, one
+     epsilon younger is IN. *)
+  let st = Obs.Health.stats h ~now_ms:1000.0 in
+  Alcotest.(check int) "t=0 sample just expired" 2 st.Obs.Health.h_requests;
+  let st = Obs.Health.stats h ~now_ms:1399.0 in
+  Alcotest.(check int) "t=400 still in at 1399" 2 st.Obs.Health.h_requests;
+  let st = Obs.Health.stats h ~now_ms:1400.0 in
+  Alcotest.(check int) "t=400 out at exactly 1400" 1 st.Obs.Health.h_requests;
+  Alcotest.(check int) "lifetime total survives expiry" 3
+    st.Obs.Health.h_total;
+  Alcotest.(check int) "lifetime errors survive expiry" 1
+    st.Obs.Health.h_total_err;
+  (* pruning is permanent: stats at a later now keeps only live samples *)
+  let st = Obs.Health.stats h ~now_ms:5000.0 in
+  Alcotest.(check int) "empty window" 0 st.Obs.Health.h_requests;
+  Alcotest.(check (float 1e-9)) "empty window error rate is 0" 0.0
+    st.Obs.Health.h_error_rate;
+  Obs.Health.observe_cache h ~now_ms:5100.0 ~hit:true;
+  Obs.Health.observe_cache h ~now_ms:5200.0 ~hit:true;
+  Obs.Health.observe_cache h ~now_ms:5300.0 ~hit:false;
+  let st = Obs.Health.stats h ~now_ms:5400.0 in
+  Alcotest.(check (float 1e-9)) "cache hit rate" (2.0 /. 3.0)
+    st.Obs.Health.h_cache_hit_rate;
+  let line = Obs.Health.render ~done_count:4 ~total:9 st in
+  Alcotest.(check bool) "render prefix" true
+    (contains ~sub:"[masc-health]" line);
+  Alcotest.(check bool) "render progress" true (contains ~sub:"4/9 done" line)
+
+(* ---- ojson ---- *)
+
+let test_ojson () =
+  (match Obs.Ojson.parse "{\"a\": [1, 2.5, \"x\\n\"], \"b\": null}" with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    (match Obs.Ojson.member "a" v with
+    | Some (Obs.Ojson.Arr [ x; y; z ]) ->
+      Alcotest.(check (option (float 0.0))) "int" (Some 1.0)
+        (Obs.Ojson.to_num x);
+      Alcotest.(check (option (float 0.0))) "float" (Some 2.5)
+        (Obs.Ojson.to_num y);
+      Alcotest.(check (option string)) "escaped string" (Some "x\n")
+        (Obs.Ojson.to_str z)
+    | _ -> Alcotest.fail "expected a 3-element array");
+    Alcotest.(check bool) "null member" true
+      (Obs.Ojson.member "b" v = Some Obs.Ojson.Null);
+    Alcotest.(check bool) "absent member" true
+      (Obs.Ojson.member "c" v = None));
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Result.is_error (Obs.Ojson.parse "{} x"));
+  Alcotest.(check bool) "unterminated rejected" true
+    (Result.is_error (Obs.Ojson.parse "{\"a\": "))
+
+(* ---- bench regression gate ---- *)
+
+let bench_doc ?(fir_cycles = 100) ?(ns = 10.0) () =
+  Printf.sprintf
+    {|{
+  "schema_version": 5,
+  "table2": [
+    {"kernel": "fir", "baseline_cycles": 1000, "proposed_cycles": %d,
+     "speedup": 10.0, "passes_run": 5, "passes_skipped": 1}
+  ],
+  "fig3": [
+    {"kernel": "fir", "speedup_vs_baseline":
+      {"scalar": 1.0, "dsp4": 2.0, "dsp8": 4.0, "dsp16": 8.0}}
+  ],
+  "bechamel_ns_per_run": [
+    {"name": "fir/total", "ns_per_run": %f, "minor_words_per_run": 50.0}
+  ]
+}|}
+    fir_cycles ns
+
+let bd_diff ?thresholds old_text new_text =
+  match Obs.Bench_diff.diff ?thresholds ~old_text ~new_text () with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_bench_diff_gate () =
+  let base = bench_doc () in
+  let v = bd_diff base (bench_doc ()) in
+  Alcotest.(check bool) "identical reports pass" true v.Obs.Bench_diff.v_ok;
+  Alcotest.(check bool) "json verdict valid" true
+    (json_valid (Obs.Bench_diff.render_json v));
+  (* a single cycle of drift on any kernel fails the gate *)
+  let v = bd_diff base (bench_doc ~fir_cycles:101 ()) in
+  Alcotest.(check bool) "cycle drift fails" false v.Obs.Bench_diff.v_ok;
+  Alcotest.(check bool) "failing check named" true
+    (List.exists
+       (fun (c : Obs.Bench_diff.check) ->
+         c.Obs.Bench_diff.c_status = Obs.Bench_diff.Fail
+         && contains ~sub:"fir" c.Obs.Bench_diff.c_name)
+       v.Obs.Bench_diff.v_checks);
+  (* wall clock: warn without a threshold, fail past an explicit one *)
+  let slower = bench_doc ~ns:15.0 () in
+  let v = bd_diff base slower in
+  Alcotest.(check bool) "+50% ns is a warning by default" true
+    v.Obs.Bench_diff.v_ok;
+  Alcotest.(check bool) "warning recorded" true
+    (List.exists
+       (fun (c : Obs.Bench_diff.check) ->
+         c.Obs.Bench_diff.c_status = Obs.Bench_diff.Warn)
+       v.Obs.Bench_diff.v_checks);
+  let thresholds =
+    { Obs.Bench_diff.max_ns_regress_pct = Some 10.0;
+      max_alloc_regress_pct = None }
+  in
+  let v = bd_diff ~thresholds base slower in
+  Alcotest.(check bool) "+50% ns fails a 10% threshold" false
+    v.Obs.Bench_diff.v_ok;
+  let v = bd_diff ~thresholds base (bench_doc ~ns:10.5 ()) in
+  Alcotest.(check bool) "+5% ns passes a 10% threshold" true
+    v.Obs.Bench_diff.v_ok;
+  (* unparseable input is an Error, not an exception *)
+  Alcotest.(check bool) "garbage is a parse error" true
+    (Result.is_error
+       (Obs.Bench_diff.diff ~old_text:"nope" ~new_text:base ()));
+  let text = Obs.Bench_diff.render_text (bd_diff base base) in
+  Alcotest.(check bool) "text verdict summarised" true
+    (contains ~sub:"bench diff: OK" text)
+
 let suites =
   [ ( "obs",
       [ Alcotest.test_case "trace spans" `Quick test_trace_spans;
@@ -360,6 +645,23 @@ let suites =
           test_profile_snapshot_render;
         Alcotest.test_case "profiling is transparent" `Quick
           test_profiling_is_transparent ] );
+    ( "journal",
+      [ Alcotest.test_case "lifecycle and correlation" `Quick
+          test_journal_lifecycle;
+        Alcotest.test_case "ring bounds and drop counter" `Quick
+          test_journal_ring_bounds;
+        Alcotest.test_case "jsonl streaming" `Quick test_journal_stream;
+        Alcotest.test_case "normalizing comparator" `Quick
+          test_journal_normalize;
+        Alcotest.test_case "trace request lanes" `Quick
+          test_trace_request_lanes ] );
+    ( "health",
+      [ Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantiles;
+        Alcotest.test_case "window arithmetic" `Quick test_health_window ] );
+    ( "bench gate",
+      [ Alcotest.test_case "ojson parser" `Quick test_ojson;
+        Alcotest.test_case "bench diff verdicts" `Quick test_bench_diff_gate ]
+    );
     ( "profiler differential",
       [ Alcotest.test_case "tree vs plan attribution" `Slow
           test_profile_differential ] ) ]

@@ -425,6 +425,135 @@ let test_batch_summary_json () =
     [ "\"requests\""; "\"counts\""; "\"latency_ms\""; "\"p99\"";
       "\"faults_injected\""; "\"cache\""; "\"hit_rate\"" ]
 
+(* ---- flight-recorder soak: determinism and reconstruction ----
+
+   The CI fault-soak workload (6 kernels x 4 targets x run+compile x 5
+   reps = 240 requests) under all:0.05 fault injection, run in-process
+   at jobs=1 so the journal's event order is a pure function of the
+   fault seed. Two runs with the same seed must produce byte-identical
+   journals modulo time-valued fields, and every outcome must be
+   reconstructible from the journal alone. *)
+
+module Journal = Masc_obs.Journal
+
+let soak_reqs =
+  let b = Buffer.create 4096 in
+  for _rep = 1 to 5 do
+    List.iter
+      (fun k ->
+        List.iter
+          (fun t ->
+            Buffer.add_string b
+              (Printf.sprintf "run kernel:%s target=%s\n" k t);
+            Buffer.add_string b
+              (Printf.sprintf "compile kernel:%s target=%s\n" k t))
+          [ "scalar"; "dsp4"; "dsp8"; "dsp16" ])
+      [ "fir"; "iir"; "fft"; "matmul"; "xcorr"; "fmdemod" ]
+  done;
+  Buffer.contents b
+
+let run_soak ~seed =
+  let dir = tmpdir () in
+  C.clear_memory_cache ();
+  C.set_cache_dir (Some dir);
+  Journal.reset ();
+  Fault.configure ~seed (Fault.parse_spec "all:0.05");
+  let policy =
+    { Req.default_policy with
+      Req.max_retries = 6;
+      backoff_base_ms = 0.01;
+      quarantine_after = 3;
+      retry_seed = seed }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      C.set_cache_dir None;
+      C.clear_memory_cache ();
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let items = Batch.parse ~default_isa:dsp8 soak_reqs in
+      Batch.run ~jobs:1 ~policy items)
+
+let detail key (ev : Journal.event) = List.assoc_opt key ev.Journal.detail
+
+let test_soak_journal () =
+  Journal.enable ();
+  Fun.protect ~finally:Journal.disable @@ fun () ->
+  let o1 = run_soak ~seed:7 in
+  let j1 = Journal.normalize (Journal.to_jsonl ()) in
+  let o2 = run_soak ~seed:7 in
+  let j2 = Journal.normalize (Journal.to_jsonl ()) in
+  Alcotest.(check int) "240 outcomes" 240 (List.length o2);
+  Alcotest.(check int) "nothing dropped from the ring" 0 (Journal.dropped ());
+  let classes os = List.map (fun o -> Req.status_class o.Req.o_status) os in
+  Alcotest.(check (list string)) "same seed, same outcome classes"
+    (classes o1) (classes o2);
+  Alcotest.(check bool) "journals byte-identical modulo timestamps" true
+    (j1 = j2);
+  let all = Journal.events () in
+  let kinds k =
+    List.length (List.filter (fun (e : Journal.event) -> e.Journal.kind = k) all)
+  in
+  Alcotest.(check bool) "faults actually fired" true
+    (kinds "fault.injected" > 0);
+  Alcotest.(check bool) "cache traffic journaled" true
+    (kinds "cache.miss" > 0 || kinds "cache.hit" > 0);
+  (* Reconstruction: every outcome's story — acceptance, attempt count,
+     retry count, final class — must be recoverable from its rid's
+     journal slice alone. *)
+  List.iteri
+    (fun i (o : Req.outcome) ->
+      let evs = Journal.events_for ~rid:i in
+      let count k =
+        List.length
+          (List.filter (fun (e : Journal.event) -> e.Journal.kind = k) evs)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "req %d accepted exactly once" i)
+        1 (count "request.accepted");
+      (match
+         List.filter
+           (fun (e : Journal.event) -> e.Journal.kind = "request.done")
+           evs
+       with
+      | [ d ] ->
+        Alcotest.(check (option string))
+          (Printf.sprintf "req %d final class from journal" i)
+          (Some (Req.status_class o.Req.o_status))
+          (detail "class" d)
+      | ds ->
+        Alcotest.failf "req %d: expected exactly one request.done, got %d" i
+          (List.length ds));
+      Alcotest.(check int)
+        (Printf.sprintf "req %d retries = backoff events" i)
+        o.Req.o_retries (count "retry.backoff");
+      let short_circuited = count "quarantine.hit" > 0 in
+      if (not short_circuited) && Req.status_class o.Req.o_status <> "invalid"
+      then
+        Alcotest.(check int)
+          (Printf.sprintf "req %d attempts = retries + 1" i)
+          (o.Req.o_retries + 1)
+          (count "attempt.start"))
+    o2;
+  (* The batch summary cites journal offsets for every non-ok request,
+     and the offsets point at that request's own events. *)
+  let json = Batch.summary_json o2 in
+  let non_ok =
+    List.filteri
+      (fun _ o -> Req.status_class o.Req.o_status <> "ok")
+      o2
+  in
+  if non_ok <> [] then begin
+    let contains sub =
+      let n = String.length sub and m = String.length json in
+      let rec at i = i + n <= m && (String.sub json i n = sub || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "summary cites journal offsets" true
+      (contains "\"journal\": [")
+  end
+
 let suites =
   [ ( "svc fault injection",
       [ Alcotest.test_case "deterministic draws" `Quick test_fault_determinism;
@@ -457,5 +586,8 @@ let suites =
       [ Alcotest.test_case "line grammar" `Quick test_batch_parse;
         Alcotest.test_case "order and isolation" `Quick
           test_batch_run_order_and_isolation;
-        Alcotest.test_case "summary json" `Quick test_batch_summary_json ] )
+        Alcotest.test_case "summary json" `Quick test_batch_summary_json ] );
+    ( "svc flight recorder",
+      [ Alcotest.test_case "soak determinism and reconstruction" `Slow
+          test_soak_journal ] )
   ]
